@@ -1,0 +1,95 @@
+// Package bcrdb is a blockchain relational database: a decentralized
+// network of relational database nodes, operated by mutually distrustful
+// organizations, that executes SQL smart contracts and commits every
+// transaction in the same serializable order on every replica.
+//
+// It is a from-scratch Go implementation of the system described in
+// "Blockchain Meets Database: Design and Implementation of a Blockchain
+// Relational Database" (Nathan, Govindarajan, Saraf, Sethi,
+// Jayachandran — VLDB 2019), including:
+//
+//   - both transaction flows: order-then-execute (§3.3) and
+//     execute-order-in-parallel (§3.4);
+//   - serializable snapshot isolation across untrusted replicas, with the
+//     paper's novel block-height SSI and the block-aware abort-during-
+//     commit rules of Table 2;
+//   - a deterministic PL/pgSQL-like contract language over a full SQL
+//     engine (joins, aggregates, grouping, ordering, provenance queries);
+//   - pluggable ordering: a crash-fault-tolerant Kafka-style service and
+//     a byzantine-fault-tolerant PBFT service;
+//   - checkpointing with divergence detection, crash recovery, and
+//     catch-up.
+//
+// # Quick start
+//
+//	nw, err := bcrdb.NewNetwork(bcrdb.Options{
+//	    Orgs: []bcrdb.Org{
+//	        {Name: "org1", Users: []string{"alice"}},
+//	        {Name: "org2", Users: []string{"bob"}},
+//	        {Name: "org3", Users: []string{"carol"}},
+//	    },
+//	    Genesis: bcrdb.Genesis{
+//	        SQL:       []string{`CREATE TABLE accounts (id BIGINT PRIMARY KEY, balance DOUBLE)`},
+//	        Contracts: []string{openAccountSrc, transferSrc},
+//	    },
+//	})
+//	defer nw.Close()
+//
+//	alice := nw.Client("alice")
+//	res, err := alice.Invoke("open_account", bcrdb.Int(1), bcrdb.Float(100))
+//	rows, err := alice.Query(`SELECT balance FROM accounts WHERE id = $1`, bcrdb.Int(1))
+//
+// Every node in the network runs in-process, connected by a simulated
+// network with configurable LAN/WAN characteristics; state, execution and
+// commit decisions are fully isolated per node, exactly as across real
+// machines.
+package bcrdb
+
+import (
+	"bcrdb/internal/core"
+	"bcrdb/internal/engine"
+	"bcrdb/internal/types"
+)
+
+// Flow selects the transaction flow of §3 of the paper.
+type Flow = core.Flow
+
+// Transaction flows.
+const (
+	// OrderThenExecute orders blocks first, then executes all of a
+	// block's transactions concurrently against the pre-block snapshot.
+	OrderThenExecute = core.OrderThenExecute
+	// ExecuteOrder executes transactions as they are submitted, at a
+	// client-chosen snapshot height, while ordering proceeds in parallel.
+	ExecuteOrder = core.ExecuteOrder
+)
+
+// TxResult is the final outcome of a submitted transaction.
+type TxResult = core.TxResult
+
+// Result is a query result set.
+type Result = engine.Result
+
+// Value is a SQL scalar.
+type Value = types.Value
+
+// Row is a tuple of values.
+type Row = types.Row
+
+// Int builds a BIGINT value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float builds a DOUBLE value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// Text builds a TEXT value.
+func Text(v string) Value { return types.NewString(v) }
+
+// Bool builds a BOOLEAN value.
+func Bool(v bool) Value { return types.NewBool(v) }
+
+// Null builds the NULL value.
+func Null() Value { return types.Null() }
+
+// Bytes builds a BYTEA value.
+func Bytes(v []byte) Value { return types.NewBytes(v) }

@@ -1,0 +1,262 @@
+package bcrdb
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"bcrdb/internal/core"
+	"bcrdb/internal/engine"
+	"bcrdb/internal/identity"
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/simnet"
+)
+
+// Client submits signed transactions on behalf of one user and listens
+// for commit notifications (§2(7): transactions are asynchronous).
+//
+// In the execute-order-in-parallel flow a client submits to its home
+// database node, tagging the transaction with the node's current block
+// height as the snapshot; in order-then-execute it submits directly to an
+// ordering node.
+type Client struct {
+	nw     *Network
+	signer *identity.Signer
+	home   *core.Node
+	ep     *simnet.Endpoint
+
+	mu      sync.Mutex
+	waiters map[string][]chan TxResult
+}
+
+// Client returns (creating on first use) the client handle for a user
+// registered in Options.Orgs. Home nodes are assigned round-robin by
+// user order within the org.
+func (nw *Network) Client(username string) *Client {
+	nw.clientMu.Lock()
+	defer nw.clientMu.Unlock()
+	if c, ok := nw.clients[username]; ok {
+		return c
+	}
+	signer := nw.signers[username]
+	if signer == nil {
+		panic(fmt.Sprintf("bcrdb: unknown user %q (declare it in Options.Orgs)", username))
+	}
+	// Home node: the user's org's node.
+	var home *core.Node
+	for _, n := range nw.nodes {
+		if n.Org() == signer.Org {
+			home = n
+			break
+		}
+	}
+	if home == nil {
+		home = nw.nodes[0]
+	}
+	c := &Client{nw: nw, signer: signer, home: home, waiters: make(map[string][]chan TxResult)}
+	ep, err := nw.net.Register(username, c.onNotify)
+	if err == nil {
+		c.ep = ep
+	} else {
+		// Name collision (e.g. restarted client): fall back to a
+		// uniquely suffixed endpoint; push notifications then miss, but
+		// local subscriptions still work.
+		ep, err = nw.net.Register(username+".client", c.onNotify)
+		if err == nil {
+			c.ep = ep
+		}
+	}
+	nw.clients[username] = c
+	return c
+}
+
+func (c *Client) close() {
+	if c.ep != nil {
+		c.ep.Unregister()
+	}
+}
+
+// Username returns the client's user name.
+func (c *Client) Username() string { return c.signer.Name }
+
+// Home returns the client's home database node.
+func (c *Client) Home() *core.Node { return c.home }
+
+func (c *Client) onNotify(m simnet.Message) {
+	if m.Kind != core.KindNotify {
+		return
+	}
+	r, err := core.DecodeResult(m.Payload)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	chans := c.waiters[r.ID]
+	delete(c.waiters, r.ID)
+	c.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- r:
+		default:
+		}
+	}
+}
+
+// buildTx signs a transaction. For ExecuteOrder the snapshot is the home
+// node's current height (the paper: "the client can obtain this from the
+// peer it is connected with") and the id is the §3.4.3 deterministic hash
+// — identical (user, contract, args, snapshot) share an id by design. In
+// OrderThenExecute the id is client-chosen and unique (§3.3), so retries
+// of failed invocations work naturally.
+func (c *Client) buildTx(contract string, args []Value) *ledger.Transaction {
+	tx := &ledger.Transaction{
+		Username: c.signer.Name,
+		Contract: contract,
+		Args:     args,
+	}
+	if c.nw.opts.Flow == ExecuteOrder {
+		tx.Snapshot = c.home.Height()
+		tx.ID = ledger.ComputeID(c.signer.Name, contract, args, tx.Snapshot)
+	} else {
+		var nonce [16]byte
+		if _, err := rand.Read(nonce[:]); err != nil {
+			panic(err) // crypto/rand failure is unrecoverable
+		}
+		tx.ID = hex.EncodeToString(nonce[:])
+	}
+	tx.Signature = c.signer.Sign(tx.SignBytes())
+	return tx
+}
+
+// submit signs and sends without waiting; returns the transaction id.
+func (c *Client) submit(contract string, args []Value) (string, error) {
+	tx := c.buildTx(contract, args)
+	payload := ledger.MarshalTransaction(tx)
+	if c.ep == nil {
+		return "", fmt.Errorf("bcrdb: client %s has no network endpoint", c.signer.Name)
+	}
+	var err error
+	if c.nw.opts.Flow == ExecuteOrder {
+		err = c.ep.Send(c.home.Name(), core.KindSubmit, payload)
+	} else {
+		target := c.nw.orderers[len(tx.ID)%len(c.nw.orderers)]
+		err = c.ep.Send(target, ordering.KindSubmit, payload)
+	}
+	return tx.ID, err
+}
+
+// PendingTx is an in-flight transaction.
+type PendingTx struct {
+	ID string
+	ch <-chan TxResult
+}
+
+// Submit signs and submits a transaction asynchronously. Await the
+// result on the returned PendingTx. Two submissions with identical
+// (user, contract, args, snapshot) share an id (§3.4.3) — include a
+// nonce argument in the contract when replays must be distinct.
+func (c *Client) Submit(contract string, args ...Value) (*PendingTx, error) {
+	tx := c.buildTx(contract, args)
+	ch := c.home.Subscribe(tx.ID)
+	payload := ledger.MarshalTransaction(tx)
+	var err error
+	if c.nw.opts.Flow == ExecuteOrder {
+		err = c.ep.Send(c.home.Name(), core.KindSubmit, payload)
+	} else {
+		target := c.nw.orderers[len(tx.ID)%len(c.nw.orderers)]
+		err = c.ep.Send(target, ordering.KindSubmit, payload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &PendingTx{ID: tx.ID, ch: ch}, nil
+}
+
+// Await blocks for the transaction result.
+func (p *PendingTx) Await(timeout time.Duration) (TxResult, error) {
+	select {
+	case r := <-p.ch:
+		return r, nil
+	case <-time.After(timeout):
+		return TxResult{}, fmt.Errorf("bcrdb: timeout waiting for tx %s", p.ID)
+	}
+}
+
+// Invoke submits a transaction and waits (up to 30s) for its result.
+func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
+	p, err := c.Submit(contract, args...)
+	if err != nil {
+		return TxResult{}, err
+	}
+	return p.Await(30 * time.Second)
+}
+
+// Query runs a read-only SQL query against the client's home node at the
+// current height. Read-only queries are served by one node and are not
+// recorded on the chain (§3.7); clients distrusting their node can issue
+// the query against several nodes and compare (§3.5(5)).
+func (c *Client) Query(sql string, params ...Value) (*Result, error) {
+	return c.home.Query(sql, params...)
+}
+
+// QueryAt runs a read-only query at a historic block height.
+func (c *Client) QueryAt(height int64, sql string, params ...Value) (*Result, error) {
+	return c.home.QueryAt(height, sql, params...)
+}
+
+// ExecPrivate runs a statement on the home node's non-blockchain schema
+// (§3.7): node-local tables for the client's own organization, joinable
+// with blockchain tables in read-only queries but invisible to contracts
+// and consensus.
+func (c *Client) ExecPrivate(sql string, params ...Value) (*Result, error) {
+	return c.home.ExecPrivate(sql, params...)
+}
+
+// QueryAll runs the query on every node and returns an error if any two
+// disagree — the cross-checking read of §3.5(5).
+func (c *Client) QueryAll(sql string, params ...Value) (*Result, error) {
+	h := c.nw.nodes[0].Height()
+	for _, n := range c.nw.nodes[1:] {
+		if nh := n.Height(); nh < h {
+			h = nh
+		}
+	}
+	var ref *engine.Result
+	for i, n := range c.nw.nodes {
+		res, err := n.QueryAt(h, sql, params...)
+		if err != nil {
+			return nil, fmt.Errorf("bcrdb: node %s: %w", n.Name(), err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !sameResult(ref, res) {
+			return nil, fmt.Errorf("bcrdb: node %s returned a different result (possible tampering, §3.5(5))", n.Name())
+		}
+	}
+	return ref, nil
+}
+
+func sameResult(a, b *engine.Result) bool {
+	if len(a.Rows) != len(b.Rows) || len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j].Kind() != b.Rows[i][j].Kind() {
+				return false
+			}
+			if a.Rows[i][j].String() != b.Rows[i][j].String() {
+				return false
+			}
+		}
+	}
+	return true
+}

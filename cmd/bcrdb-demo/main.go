@@ -1,0 +1,137 @@
+// bcrdb-demo spins up a local blockchain database network, runs a short
+// scripted scenario, and then (with -repl) drops into a read-only SQL
+// shell against one of the replicas.
+//
+// Usage:
+//
+//	go run ./cmd/bcrdb-demo            # scripted scenario
+//	go run ./cmd/bcrdb-demo -repl      # scenario + interactive queries
+//	go run ./cmd/bcrdb-demo -flow eo   # execute-order-in-parallel
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"bcrdb"
+)
+
+var (
+	flowFlag = flag.String("flow", "oe", "transaction flow: oe (order-then-execute) or eo (execute-order-in-parallel)")
+	repl     = flag.Bool("repl", false, "start a read-only SQL shell after the scenario")
+)
+
+const transferSrc = `
+CREATE FUNCTION transfer(p_from BIGINT, p_to BIGINT, p_amt DOUBLE) RETURNS VOID AS $$
+DECLARE
+	bal DOUBLE;
+BEGIN
+	SELECT balance INTO bal FROM accounts WHERE id = p_from;
+	IF bal IS NULL THEN
+		RAISE EXCEPTION 'no such account';
+	END IF;
+	IF bal < p_amt THEN
+		RAISE EXCEPTION 'insufficient funds';
+	END IF;
+	UPDATE accounts SET balance = balance - p_amt WHERE id = p_from;
+	UPDATE accounts SET balance = balance + p_amt WHERE id = p_to;
+END;
+$$ LANGUAGE plpgsql;`
+
+func main() {
+	flag.Parse()
+	flow := bcrdb.OrderThenExecute
+	if *flowFlag == "eo" {
+		flow = bcrdb.ExecuteOrder
+	}
+
+	fmt.Println("bootstrapping a 3-organization network...")
+	nw, err := bcrdb.NewNetwork(bcrdb.Options{
+		Orgs: []bcrdb.Org{
+			{Name: "org1", Users: []string{"alice"}},
+			{Name: "org2", Users: []string{"bob"}},
+			{Name: "org3", Users: []string{"carol"}},
+		},
+		Flow:         flow,
+		BlockSize:    50,
+		BlockTimeout: 50 * time.Millisecond,
+		Genesis: bcrdb.Genesis{
+			SQL: []string{
+				`CREATE TABLE accounts (id BIGINT PRIMARY KEY, owner TEXT, balance DOUBLE)`,
+				`INSERT INTO accounts VALUES (1, 'alice', 500.0), (2, 'bob', 500.0), (3, 'carol', 500.0)`,
+			},
+			Contracts: []string{transferSrc},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Close()
+
+	users := []string{"alice", "bob", "carol"}
+	fmt.Println("submitting 30 transfers...")
+	for i := 0; i < 30; i++ {
+		from := int64(i%3 + 1)
+		to := from%3 + 1
+		r, err := nw.Client(users[i%3]).Invoke("transfer",
+			bcrdb.Int(from), bcrdb.Int(to), bcrdb.Float(float64(i%9+1)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !r.Committed {
+			fmt.Printf("  tx %d aborted: %s\n", i, r.Reason)
+		}
+	}
+	if err := nw.WaitHeight(nw.Height(), 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.VerifyConsistency(); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, _ := nw.Client("alice").Query(`SELECT id, owner, balance FROM accounts ORDER BY id`)
+	fmt.Println("final balances (identical on every replica):")
+	for _, r := range rows.Rows {
+		fmt.Printf("  %v %-8v %v\n", r[0], r[1], r[2])
+	}
+	sum, _ := nw.Client("alice").Query(`SELECT SUM(balance) FROM accounts`)
+	fmt.Printf("conserved total: %v\n", sum.Rows[0][0])
+	fmt.Printf("chain height: %d blocks, checkpointed through block %d\n",
+		nw.Height(), nw.Node(0).LastCheckpoint())
+
+	if !*repl {
+		return
+	}
+	fmt.Println("\nread-only SQL shell against org1's replica (try: SELECT * FROM accounts PROVENANCE; \\q to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		default:
+			res, err := nw.Node(0).Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(strings.Join(res.Cols, " | "))
+				for _, r := range res.Rows {
+					parts := make([]string, len(r))
+					for i, v := range r {
+						parts[i] = v.String()
+					}
+					fmt.Println(strings.Join(parts, " | "))
+				}
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			}
+		}
+		fmt.Print("sql> ")
+	}
+}

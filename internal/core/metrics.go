@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the micro-metrics of §5: block receive/process rates
+// (brr, bpr), block processing/execution/commit times (bpt, bet, bct),
+// transaction execution time (tet), missing transactions (mt) and the
+// block-processor busy time that yields system utilization (su).
+// All counters are cumulative; callers snapshot twice and diff.
+type Metrics struct {
+	BlocksReceived  atomic.Int64 // brr numerator
+	BlocksProcessed atomic.Int64 // bpr numerator
+
+	BlockProcessNanos atomic.Int64 // Σ bpt
+	BlockExecNanos    atomic.Int64 // Σ bet
+	BlockCommitNanos  atomic.Int64 // Σ bct
+
+	TxExecNanos atomic.Int64 // Σ tet
+	TxExecCount atomic.Int64
+
+	TxCommitted atomic.Int64
+	TxAborted   atomic.Int64
+	MissingTxs  atomic.Int64 // mt numerator (execute-order-in-parallel)
+
+	BusyNanos atomic.Int64 // block processor busy time (su numerator)
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	At                time.Time
+	BlocksReceived    int64
+	BlocksProcessed   int64
+	BlockProcessNanos int64
+	BlockExecNanos    int64
+	BlockCommitNanos  int64
+	TxExecNanos       int64
+	TxExecCount       int64
+	TxCommitted       int64
+	TxAborted         int64
+	MissingTxs        int64
+	BusyNanos         int64
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		At:                time.Now(),
+		BlocksReceived:    m.BlocksReceived.Load(),
+		BlocksProcessed:   m.BlocksProcessed.Load(),
+		BlockProcessNanos: m.BlockProcessNanos.Load(),
+		BlockExecNanos:    m.BlockExecNanos.Load(),
+		BlockCommitNanos:  m.BlockCommitNanos.Load(),
+		TxExecNanos:       m.TxExecNanos.Load(),
+		TxExecCount:       m.TxExecCount.Load(),
+		TxCommitted:       m.TxCommitted.Load(),
+		TxAborted:         m.TxAborted.Load(),
+		MissingTxs:        m.MissingTxs.Load(),
+		BusyNanos:         m.BusyNanos.Load(),
+	}
+}
+
+// Window is the difference of two snapshots, exposing the paper's
+// derived metrics.
+type Window struct {
+	Elapsed time.Duration
+	Diff    Snapshot
+}
+
+// Sub computes the window between two snapshots (b after a).
+func (b Snapshot) Sub(a Snapshot) Window {
+	return Window{
+		Elapsed: b.At.Sub(a.At),
+		Diff: Snapshot{
+			BlocksReceived:    b.BlocksReceived - a.BlocksReceived,
+			BlocksProcessed:   b.BlocksProcessed - a.BlocksProcessed,
+			BlockProcessNanos: b.BlockProcessNanos - a.BlockProcessNanos,
+			BlockExecNanos:    b.BlockExecNanos - a.BlockExecNanos,
+			BlockCommitNanos:  b.BlockCommitNanos - a.BlockCommitNanos,
+			TxExecNanos:       b.TxExecNanos - a.TxExecNanos,
+			TxExecCount:       b.TxExecCount - a.TxExecCount,
+			TxCommitted:       b.TxCommitted - a.TxCommitted,
+			TxAborted:         b.TxAborted - a.TxAborted,
+			MissingTxs:        b.MissingTxs - a.MissingTxs,
+			BusyNanos:         b.BusyNanos - a.BusyNanos,
+		},
+	}
+}
+
+func (w Window) seconds() float64 { return w.Elapsed.Seconds() }
+
+// BRR is the block receive rate (blocks/s).
+func (w Window) BRR() float64 { return float64(w.Diff.BlocksReceived) / w.seconds() }
+
+// BPR is the block processing rate (blocks/s).
+func (w Window) BPR() float64 { return float64(w.Diff.BlocksProcessed) / w.seconds() }
+
+// BPT is the mean block processing time (ms).
+func (w Window) BPT() float64 { return msPer(w.Diff.BlockProcessNanos, w.Diff.BlocksProcessed) }
+
+// BET is the mean block execution time (ms).
+func (w Window) BET() float64 { return msPer(w.Diff.BlockExecNanos, w.Diff.BlocksProcessed) }
+
+// BCT is the mean block commit time (ms): bpt − bet by construction.
+func (w Window) BCT() float64 { return msPer(w.Diff.BlockCommitNanos, w.Diff.BlocksProcessed) }
+
+// TET is the mean transaction execution time (ms).
+func (w Window) TET() float64 { return msPer(w.Diff.TxExecNanos, w.Diff.TxExecCount) }
+
+// MT is missing transactions per second.
+func (w Window) MT() float64 { return float64(w.Diff.MissingTxs) / w.seconds() }
+
+// SU is the system utilization: fraction of time the block processor was
+// busy, as a percentage.
+func (w Window) SU() float64 {
+	return 100 * float64(w.Diff.BusyNanos) / float64(w.Elapsed.Nanoseconds())
+}
+
+// Throughput is committed transactions per second.
+func (w Window) Throughput() float64 { return float64(w.Diff.TxCommitted) / w.seconds() }
+
+func msPer(nanos, count int64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(nanos) / float64(count) / 1e6
+}

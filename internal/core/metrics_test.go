@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/types"
+)
+
+func TestMetricsWindowMath(t *testing.T) {
+	var m Metrics
+	a := m.Snapshot()
+	m.BlocksReceived.Add(10)
+	m.BlocksProcessed.Add(8)
+	m.BlockProcessNanos.Add(int64(80 * time.Millisecond))
+	m.BlockExecNanos.Add(int64(48 * time.Millisecond))
+	m.BlockCommitNanos.Add(int64(32 * time.Millisecond))
+	m.TxExecNanos.Add(int64(16 * time.Millisecond))
+	m.TxExecCount.Add(16)
+	m.TxCommitted.Add(100)
+	m.MissingTxs.Add(4)
+	m.BusyNanos.Add(int64(50 * time.Millisecond))
+	b := m.Snapshot()
+	b.At = a.At.Add(time.Second) // pin the window to exactly 1s
+
+	w := b.Sub(a)
+	if w.BRR() != 10 || w.BPR() != 8 {
+		t.Errorf("brr=%v bpr=%v", w.BRR(), w.BPR())
+	}
+	if w.BPT() != 10 { // 80ms over 8 blocks
+		t.Errorf("bpt = %v", w.BPT())
+	}
+	if w.BET() != 6 || w.BCT() != 4 {
+		t.Errorf("bet=%v bct=%v", w.BET(), w.BCT())
+	}
+	if w.TET() != 1 {
+		t.Errorf("tet = %v", w.TET())
+	}
+	if w.MT() != 4 {
+		t.Errorf("mt = %v", w.MT())
+	}
+	if w.SU() != 5 {
+		t.Errorf("su = %v", w.SU())
+	}
+	if w.Throughput() != 100 {
+		t.Errorf("tput = %v", w.Throughput())
+	}
+}
+
+func TestMetricsZeroWindowSafe(t *testing.T) {
+	var m Metrics
+	a := m.Snapshot()
+	b := m.Snapshot()
+	b.At = a.At.Add(time.Second)
+	w := b.Sub(a)
+	if w.BPT() != 0 || w.TET() != 0 {
+		t.Error("zero-count averages should be 0, not NaN")
+	}
+}
+
+// TestLateJoiningEmptyNodeCatchesUp covers a node that starts with an
+// empty chain after the network has made progress: catch-up must fetch
+// everything from peers (§3.6 "retrieves any missing blocks").
+func TestLateJoiningEmptyNodeCatchesUp(t *testing.T) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute,
+		cfg: ordering.Config{BlockSize: 2, BlockTimeout: 10 * time.Millisecond}})
+
+	var last uint64
+	for i := 0; i < 6; i++ {
+		ch, _ := tn.submit("alice", "put_account",
+			types.NewInt(int64(3000+i)), types.NewString("x"), types.NewFloat(1))
+		r := tn.await(ch)
+		if r.Block > last {
+			last = r.Block
+		}
+	}
+	tn.waitHeights(int64(last))
+
+	// A brand-new node for org1 joins late (fresh name to avoid endpoint
+	// collision with the running db0).
+	cfg := tn.nodes[0].cfg
+	cfg.Name = "db-late"
+	late, err := NewNode(cfg, tn.nodes[0].signer, tn.netReg.Clone(), tn.net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Bootstrap(Genesis{Certs: genesisCerts(tn), SQL: testGenesisSQL, Contracts: testContracts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(late.Stop)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && late.Height() < int64(last) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if late.Height() < int64(last) {
+		t.Fatalf("late node stuck at height %d, want %d", late.Height(), last)
+	}
+	if late.StateHash(int64(last)) != tn.nodes[0].StateHash(int64(last)) {
+		t.Fatal("late joiner diverges")
+	}
+}
+
+// TestCheckpointEveryN covers checkpoint batching (§3.3.4: "the hash of
+// write sets can be computed for a preconfigured number of blocks").
+func TestCheckpointEveryN(t *testing.T) {
+	tn := newTestNetWithCheckpointEvery(t, 3)
+	var last uint64
+	for i := 0; i < 9; i++ {
+		ch, _ := tn.submit("alice", "put_account",
+			types.NewInt(int64(4000+i)), types.NewString("x"), types.NewFloat(1))
+		r := tn.await(ch)
+		if r.Block > last {
+			last = r.Block
+		}
+	}
+	tn.waitHeights(int64(last))
+	// Push extra traffic so checkpoint messages circulate.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		ch, _ := tn.submit("alice", "put_account",
+			types.NewInt(int64(4100+i)), types.NewString("x"), types.NewFloat(1))
+		tn.await(ch)
+		if tn.nodes[0].LastCheckpoint() >= 3 {
+			break
+		}
+	}
+	cp := tn.nodes[0].LastCheckpoint()
+	if cp == 0 {
+		t.Fatal("no checkpoint recorded")
+	}
+	if cp%3 != 0 {
+		t.Fatalf("checkpoint %d not on the every-3 schedule", cp)
+	}
+	for _, n := range tn.nodes {
+		if len(n.Alerts()) != 0 {
+			t.Fatalf("alerts: %v", n.Alerts())
+		}
+	}
+}
+
+// newTestNetWithCheckpointEvery builds the standard test network with a
+// checkpoint interval.
+func newTestNetWithCheckpointEvery(t *testing.T, every uint64) *testNet {
+	t.Helper()
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute,
+		cfg:             ordering.Config{BlockSize: 1, BlockTimeout: 10 * time.Millisecond},
+		checkpointEvery: every})
+	return tn
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"bcrdb/internal/codec"
+	"bcrdb/internal/engine"
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/simnet"
+	"bcrdb/internal/ssi"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+	"bcrdb/internal/wal"
+)
+
+// ensureExecution starts (or joins) the execution of a transaction at
+// the given snapshot height. It returns the execution and whether it was
+// freshly started by this call.
+func (n *Node) ensureExecution(tx *ledger.Transaction, snapshot int64) (*execution, bool) {
+	n.execMu.Lock()
+	if e, ok := n.executing[tx.ID]; ok {
+		n.execMu.Unlock()
+		return e, false
+	}
+	e := &execution{
+		tx:     tx,
+		cancel: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n.executing[tx.ID] = e
+	n.execMu.Unlock()
+	go n.runExecution(e, snapshot)
+	return e, true
+}
+
+// runExecution performs the execution phase of §3.3.2 / §3.4.1: wait for
+// the snapshot to exist, authenticate, run the contract with full
+// read/write tracking, then park until the block processor signals the
+// commit turn (by reading e.rec after e.done).
+func (n *Node) runExecution(e *execution, snapshot int64) {
+	defer close(e.done)
+	start := time.Now()
+	defer func() {
+		e.ran = time.Since(start)
+		n.metrics.TxExecNanos.Add(int64(e.ran))
+		n.metrics.TxExecCount.Add(1)
+	}()
+
+	if err := n.waitForHeight(snapshot, e.cancel); err != nil {
+		e.err = err
+		return
+	}
+	// Authenticate against certificates visible at the snapshot height —
+	// identical on every node (§3.3.2 step 2).
+	if err := n.authenticate(e.tx, snapshot); err != nil {
+		e.err = err
+		return
+	}
+	rec := storage.NewTxRecord(n.store.BeginTx(), snapshot)
+	e.rec = rec
+	ctx := &engine.ExecCtx{
+		Mode:         engine.ModeContract,
+		Rec:          rec,
+		Height:       snapshot,
+		RequireIndex: n.cfg.Flow == ExecuteOrder,
+		User:         e.tx.Username,
+	}
+	res, err := n.interp.Call(ctx, e.tx.Contract, e.tx.Args)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.result = res
+}
+
+// cancelExecution abandons an execution stuck waiting for an impossible
+// snapshot height.
+func (n *Node) cancelExecution(e *execution) {
+	close(e.cancel)
+	n.heightCond.Broadcast()
+	<-e.done
+}
+
+// processLoop drains sequenced blocks.
+func (n *Node) processLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopped:
+			return
+		case b := <-n.blockCh:
+			if b == nil {
+				return
+			}
+			start := time.Now()
+			n.processBlock(b, false)
+			n.metrics.BusyNanos.Add(int64(time.Since(start)))
+		}
+	}
+}
+
+// processBlock runs the execution and commit phases for one block
+// (§3.3.2–§3.3.4 / §3.4). replay suppresses externally visible effects
+// (checkpoint submission, notifications) during §3.6 recovery.
+func (n *Node) processBlock(b *ledger.Block, replay bool) {
+	t0 := time.Now()
+	n.collectCheckpoints(b, replay)
+
+	// --- execution phase -----------------------------------------------------
+	execs := make([]*execution, len(b.Txs))
+	blockSnapshot := int64(b.Number) - 1
+	for i, tx := range b.Txs {
+		snapshot := blockSnapshot
+		if n.cfg.Flow == ExecuteOrder {
+			snapshot = tx.Snapshot
+		}
+		if snapshot >= int64(b.Number) {
+			// Snapshot at or above this block can never be satisfied:
+			// fail deterministically without waiting.
+			e := &execution{tx: tx, err: fmt.Errorf("invalid snapshot %d for block %d", snapshot, b.Number),
+				cancel: make(chan struct{}), done: make(chan struct{})}
+			close(e.done)
+			// If a forwarded copy is already waiting on that height,
+			// abandon it.
+			n.execMu.Lock()
+			if running, ok := n.executing[tx.ID]; ok {
+				n.execMu.Unlock()
+				n.cancelExecution(running)
+				n.execMu.Lock()
+			}
+			n.executing[tx.ID] = e
+			n.execMu.Unlock()
+			execs[i] = e
+			continue
+		}
+		e, started := n.ensureExecution(tx, snapshot)
+		if started {
+			if n.cfg.Flow == ExecuteOrder && !replay {
+				// The committer had to start a missing transaction
+				// itself (§3.4.3, the mt metric).
+				n.metrics.MissingTxs.Add(1)
+			}
+		}
+		execs[i] = e
+		if n.cfg.SerialExecution {
+			<-e.done // Ethereum-style: one at a time (§5.1)
+		}
+	}
+	for _, e := range execs {
+		<-e.done
+	}
+	bet := time.Since(t0)
+
+	// --- commit phase ----------------------------------------------------------
+	tCommit := time.Now()
+	infos := make([]*ssi.TxInfo, len(execs))
+	for i, e := range execs {
+		infos[i] = n.txInfo(i, e)
+	}
+	mode := ssi.OrderThenExecute
+	if n.cfg.Flow == ExecuteOrder {
+		mode = ssi.ExecuteOrderParallel
+	}
+	analysis := ssi.NewAnalysis(mode, infos)
+
+	outcomes := make([]wal.TxOutcome, len(execs))
+	results := make([]TxResult, len(execs))
+	var committedRecs []*storage.TxRecord
+	var committedTxs []*ledger.Transaction
+
+	for i, e := range execs {
+		reason := ""
+		switch {
+		case e.err != nil:
+			reason = "execution: " + e.err.Error()
+		case n.isDuplicate(e.tx.ID, int64(b.Number)-1):
+			reason = "duplicate transaction id"
+		default:
+			if r := analysis.ShouldAbort(i); r != ssi.ReasonNone {
+				reason = string(r)
+			} else if err := n.store.Validate(e.rec, int64(b.Number)); err != nil {
+				reason = err.Error()
+			}
+		}
+		if reason == "" {
+			n.store.CommitTx(e.rec, int64(b.Number))
+			analysis.MarkCommitted(i)
+			committedRecs = append(committedRecs, e.rec)
+			committedTxs = append(committedTxs, e.tx)
+			n.metrics.TxCommitted.Add(1)
+			n.recordHistory(b, i, e, infos[i])
+		} else {
+			if e.rec != nil {
+				n.store.AbortTx(e.rec)
+			}
+			analysis.MarkAborted(i)
+			n.metrics.TxAborted.Add(1)
+		}
+		outcomes[i] = wal.TxOutcome{ID: e.tx.ID, Committed: reason == "", Reason: reason}
+		results[i] = TxResult{ID: e.tx.ID, Block: b.Number, Committed: reason == "",
+			Reason: reason, clientEndpoint: e.tx.Username}
+	}
+
+	// Record every transaction in the ledger table (§3.3.2 step 1 +
+	// §3.3.3 status recording), as one atomic system transaction.
+	n.appendLedgerRows(b, execs, outcomes)
+
+	// Release execution slots.
+	n.execMu.Lock()
+	for _, e := range execs {
+		if cur, ok := n.executing[e.tx.ID]; ok && cur == e {
+			delete(n.executing, e.tx.ID)
+		}
+	}
+	n.execMu.Unlock()
+
+	// The block is now fully committed.
+	n.bumpHeight(int64(b.Number))
+	bpt := time.Since(t0)
+	n.metrics.BlocksProcessed.Add(1)
+	n.metrics.BlockProcessNanos.Add(int64(bpt))
+	n.metrics.BlockExecNanos.Add(int64(bet))
+	n.metrics.BlockCommitNanos.Add(int64(time.Since(tCommit)))
+
+	// --- checkpointing phase (§3.3.4) -------------------------------------------
+	writeHash := writeSetHash(n.store, committedTxs, committedRecs)
+	n.cpMu.Lock()
+	n.ownHashes[b.Number] = writeHash
+	n.cpMu.Unlock()
+	n.evaluateCheckpoint(b.Number)
+
+	if n.log != nil && !replay {
+		_ = n.log.Append(&wal.BlockRecord{Block: b.Number, Outcomes: outcomes, WriteHash: writeHash})
+	}
+	if !replay && b.Number%n.cfg.CheckpointEvery == 0 {
+		cp := &ledger.Checkpoint{Peer: n.cfg.Name, Block: b.Number, WriteHash: writeHash}
+		cp.Signature = n.signer.Sign(cp.SignBytes())
+		payload := ledger.MarshalCheckpoint(cp)
+		for _, o := range n.cfg.Orderers {
+			_ = n.ep.Send(o, ordering.KindCheckpoint, payload)
+		}
+	}
+	for _, r := range results {
+		n.notify(r, replay)
+	}
+}
+
+// recordHistory appends a committed transaction to the serializability
+// audit trail, when enabled.
+func (n *Node) recordHistory(b *ledger.Block, seq int, e *execution, info *ssi.TxInfo) {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	if !n.retainHist || e.rec == nil {
+		return
+	}
+	ct := &ssi.CommittedTx{
+		Name:           e.tx.ID,
+		Block:          int64(b.Number),
+		Seq:            seq,
+		SnapshotHeight: e.rec.SnapshotHeight,
+		ReadRows:       e.rec.ReadRows,
+		ReadRanges:     e.rec.ReadRanges,
+		WrittenOld:     info.WrittenOld,
+		InsertedRefs:   append([]storage.ItemRef(nil), e.rec.Inserted...),
+		InsertedKeys:   info.InsertedKeys,
+	}
+	n.history = append(n.history, ct)
+}
+
+// txInfo converts an execution into the SSI analysis input.
+func (n *Node) txInfo(seq int, e *execution) *ssi.TxInfo {
+	info := &ssi.TxInfo{
+		Seq:        seq,
+		ReadRows:   map[storage.ItemRef]struct{}{},
+		WrittenOld: map[storage.ItemRef]struct{}{},
+	}
+	if e.rec == nil || e.err != nil {
+		return info
+	}
+	info.SnapshotHeight = e.rec.SnapshotHeight
+	info.ReadRows = e.rec.ReadRows
+	info.ReadRanges = e.rec.ReadRanges
+	for _, ir := range e.rec.DeletedOld {
+		info.WrittenOld[ir] = struct{}{}
+	}
+	for _, ir := range e.rec.Inserted {
+		for ixName, key := range n.store.IndexKeys(ir.Table, ir.Ref) {
+			info.InsertedKeys = append(info.InsertedKeys, ssi.KeyAt{
+				Table: ir.Table, Index: ixName, Key: key,
+			})
+		}
+	}
+	return info
+}
+
+// isDuplicate checks the ledger table for a previously recorded id
+// (§3.4.3: the unique-identifier rule).
+func (n *Node) isDuplicate(txID string, height int64) bool {
+	res, err := n.QueryAt(height, `SELECT txid FROM sys_ledger WHERE txid = $1`,
+		types.NewString(txID))
+	return err == nil && len(res.Rows) > 0
+}
+
+// appendLedgerRows records all block transactions and their statuses in
+// sys_ledger atomically (the paper's pgLedger, §4.2).
+func (n *Node) appendLedgerRows(b *ledger.Block, execs []*execution, outcomes []wal.TxOutcome) {
+	rec := storage.NewTxRecord(n.store.BeginTx(), int64(b.Number)-1)
+	ctx := &engine.ExecCtx{Mode: engine.ModeSystem, Height: int64(b.Number) - 1, Rec: rec}
+	for i, e := range execs {
+		status := "aborted"
+		if outcomes[i].Committed {
+			status = "committed"
+		}
+		var xid int64
+		if e.rec != nil {
+			xid = int64(e.rec.ID)
+		}
+		sub := *ctx
+		sub.Params = []types.Value{
+			types.NewString(e.tx.ID),
+			types.NewInt(int64(b.Number)),
+			types.NewInt(int64(i)),
+			types.NewString(e.tx.Username),
+			types.NewString(e.tx.Contract),
+			types.NewString(argsString(e.tx.Args)),
+			types.NewString(status),
+			types.NewInt(b.Timestamp),
+			types.NewInt(xid),
+		}
+		if _, err := n.eng.ExecSQL(&sub, `INSERT INTO sys_ledger
+			(txid, block, seq, username, contract, args, status, commit_time, local_xid)
+			VALUES ($1, $2, $3, $4, $5, $6, $7, $8, $9)`); err != nil {
+			// A duplicate id in a malicious block: record only the first.
+			continue
+		}
+	}
+	n.store.CommitTx(rec, int64(b.Number))
+}
+
+// writeSetHash digests the union of all changes a block committed
+// (§3.3.4): per committed transaction in block order, every inserted row
+// and every superseded row's primary key.
+func writeSetHash(st *storage.Store, txs []*ledger.Transaction, recs []*storage.TxRecord) ledger.Hash {
+	h := sha256.New()
+	for i, rec := range recs {
+		e := codec.NewBuf(256)
+		e.String(txs[i].ID)
+		for _, ir := range rec.Inserted {
+			v := st.Get(ir.Table, ir.Ref)
+			if v == nil {
+				continue
+			}
+			e.String(ir.Table)
+			e.Row(v.Data)
+		}
+		for _, ir := range rec.DeletedOld {
+			v := st.Get(ir.Table, ir.Ref)
+			if v == nil {
+				continue
+			}
+			t, err := st.Table(ir.Table)
+			if err != nil {
+				continue
+			}
+			sch := t.Schema()
+			e.String("-" + ir.Table)
+			e.Row(types.Row(sch.PKKey(v.Data)))
+		}
+		h.Write(e.Bytes())
+	}
+	var out ledger.Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// collectCheckpoints verifies and stores the peer checkpoints riding in a
+// block (§3.3.4), comparing them with our own hashes.
+func (n *Node) collectCheckpoints(b *ledger.Block, replay bool) {
+	for _, cp := range b.Checkpoints {
+		if err := n.netReg.VerifyBy(cp.Peer, cp.SignBytes(), cp.Signature); err != nil {
+			continue
+		}
+		n.cpMu.Lock()
+		m := n.peerHashes[cp.Block]
+		if m == nil {
+			m = make(map[string]ledger.Hash)
+			n.peerHashes[cp.Block] = m
+		}
+		m[cp.Peer] = cp.WriteHash
+		n.cpMu.Unlock()
+		n.evaluateCheckpoint(cp.Block)
+	}
+}
+
+// evaluateCheckpoint records a checkpoint when a majority of peers agree
+// with our hash, and raises alerts for divergent peers (§3.5 properties
+// 3 and 5).
+func (n *Node) evaluateCheckpoint(block uint64) {
+	n.cpMu.Lock()
+	defer n.cpMu.Unlock()
+	own, ok := n.ownHashes[block]
+	if !ok {
+		return
+	}
+	agree := 1 // ourselves
+	for peer, h := range n.peerHashes[block] {
+		if peer == n.cfg.Name {
+			continue
+		}
+		if h == own {
+			agree++
+		} else {
+			alert := fmt.Sprintf("checkpoint divergence at block %d: peer %s", block, peer)
+			dup := false
+			for _, a := range n.alerts {
+				if a == alert {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				n.alerts = append(n.alerts, alert)
+			}
+		}
+	}
+	if agree > len(n.cfg.Peers)/2 && block > n.lastCP {
+		n.lastCP = block
+	}
+}
+
+// --- recovery (§3.6) ----------------------------------------------------------
+
+// recoverLocal replays the persisted chain to rebuild state. Because
+// execution and commit decisions are deterministic, replaying the block
+// store reproduces exactly the pre-crash state; the WAL cross-checks the
+// replayed outcomes (a mismatch means the block store or log was
+// tampered with). A torn WAL tail — the crash cases of §3.6 — is simply
+// re-processed.
+func (n *Node) recoverLocal() error {
+	height := n.blocks.Height()
+	if height == 0 {
+		return nil
+	}
+	var walRecs []*wal.BlockRecord
+	if n.cfg.DataDir != "" {
+		recs, err := wal.ReadAll(n.walPath())
+		if err != nil {
+			return err
+		}
+		walRecs = recs
+	}
+	byBlock := make(map[uint64]*wal.BlockRecord, len(walRecs))
+	for _, r := range walRecs {
+		byBlock[r.Block] = r
+	}
+	for i := uint64(1); i <= height; i++ {
+		b, err := n.blocks.Get(i)
+		if err != nil {
+			return err
+		}
+		n.processBlock(b, true)
+		if rec, ok := byBlock[i]; ok {
+			n.cpMu.Lock()
+			own := n.ownHashes[i]
+			n.cpMu.Unlock()
+			if own != ledger.Hash(rec.WriteHash) {
+				return fmt.Errorf("core: recovery mismatch at block %d: replay disagrees with WAL", i)
+			}
+		} else if n.log != nil {
+			// The crash hit before the WAL frame was written (§3.6 case
+			// b): append the re-derived outcome now.
+			n.cpMu.Lock()
+			own := n.ownHashes[i]
+			n.cpMu.Unlock()
+			_ = n.log.Append(&wal.BlockRecord{Block: i, WriteHash: own})
+		}
+	}
+	return nil
+}
+
+func (n *Node) walPath() string {
+	return n.cfg.DataDir + "/" + n.cfg.Name + ".wal"
+}
+
+// ExecuteOrderSubmitLocal lets a co-located client (the facade) submit a
+// transaction to this node without the network hop. Used by tests.
+func (n *Node) ExecuteOrderSubmitLocal(tx *ledger.Transaction) error {
+	if n.cfg.Flow != ExecuteOrder {
+		return fmt.Errorf("core: node %s runs order-then-execute", n.cfg.Name)
+	}
+	payload := ledger.MarshalTransaction(tx)
+	n.onSubmit(simnet.Message{From: tx.Username, To: n.cfg.Name, Kind: KindSubmit, Payload: payload}, true)
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package engine implements SQL execution over the versioned store:
+// planning (index selection), expression evaluation, joins, aggregation,
+// ordering and DML, all with the read/range tracking that the SSI layer
+// and commit-turn validation consume.
+//
+// Everything the engine does is deterministic given (statement, snapshot
+// height, chain prefix): scans iterate in index-key order with primary-key
+// tie-breaks, groups are emitted in key order, ORDER BY carries an
+// implicit total tie-break, and LIMIT without ORDER BY is rejected in
+// contract mode (§4.3 of the paper).
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"bcrdb/internal/sqlparser"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+// Mode selects execution behavior.
+type Mode uint8
+
+// Execution modes.
+const (
+	// ModeContract: deterministic smart-contract execution with full
+	// read/write tracking. RequireIndex additionally applies in the
+	// execute-order-in-parallel flow.
+	ModeContract Mode = iota
+	// ModeReadOnly: plain queries outside the blockchain flow (§3.7:
+	// individual SELECTs are read-only and unrecorded). No tracking.
+	// May combine blockchain and private tables (cross-schema
+	// analytics).
+	ModeReadOnly
+	// ModeSystem: node-internal writes (system tables, bootstrap).
+	ModeSystem
+	// ModePrivate: transactions on the node's non-blockchain schema
+	// (§3.7) — node-local tables invisible to consensus.
+	ModePrivate
+)
+
+// ExecCtx carries the execution context for one statement or procedure.
+type ExecCtx struct {
+	Rec    *storage.TxRecord // read/write tracking target (nil in ModeReadOnly)
+	Height int64             // snapshot block height
+	Mode   Mode
+	// RequireIndex enforces §4.3: every predicate read must go through an
+	// index; unindexable scans abort the transaction. Set for the
+	// execute-order-in-parallel flow.
+	RequireIndex bool
+	Params       []types.Value          // $N bindings (1-based)
+	Vars         map[string]types.Value // procedure variables
+	User         string                 // invoking user (for sys contracts)
+	// AllowSystemWrites lets the built-in system contracts (§3.7) write
+	// to system tables from within ModeContract. User contracts never
+	// get this.
+	AllowSystemWrites bool
+	// SystemDDL marks CREATE TABLE statements as creating system tables
+	// (set only by the bootstrap path).
+	SystemDDL bool
+}
+
+// DDLClass determines the schema class a CREATE TABLE in this context
+// produces: contracts and genesis SQL create replicated blockchain
+// tables; private transactions create node-local tables; the bootstrap
+// path creates system tables.
+func (c *ExecCtx) DDLClass() storage.SchemaClass {
+	switch {
+	case c.SystemDDL:
+		return storage.ClassSystem
+	case c.Mode == ModePrivate:
+		return storage.ClassPrivate
+	default:
+		return storage.ClassBlockchain
+	}
+}
+
+// snapshotHeight returns the height reads should use.
+func (c *ExecCtx) snapshotHeight() int64 { return c.Height }
+
+func (c *ExecCtx) selfID() storage.TxID {
+	if c.Rec != nil {
+		return c.Rec.ID
+	}
+	return 0
+}
+
+func (c *ExecCtx) tracking() bool {
+	return c.Rec != nil && !c.Rec.ReadOnly && c.Mode == ModeContract
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols     []string
+	Rows     []types.Row
+	Affected int
+}
+
+// Engine executes SQL against a store.
+type Engine struct {
+	store *storage.Store
+}
+
+// New returns an engine over the store.
+func New(st *storage.Store) *Engine { return &Engine{store: st} }
+
+// Store exposes the underlying store (used by the node core).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Execution errors.
+var (
+	ErrReadOnlyCtx     = errors.New("engine: write attempted in read-only context")
+	ErrNoIndex         = errors.New("engine: no usable index for predicate (required in execute-order-in-parallel flow, §4.3)")
+	ErrBlindUpdate     = errors.New("engine: blind updates are not supported in this flow (§3.4.3)")
+	ErrLimitNeedsOrder = errors.New("engine: LIMIT requires ORDER BY in deterministic contract mode (§4.3)")
+	ErrDDLInContract   = errors.New("engine: DDL statements are not allowed inside smart contracts")
+	ErrSysColumn       = errors.New("engine: system columns are only visible to provenance queries (§4.3)")
+	ErrSchemaClass     = errors.New("engine: schema-class violation (§3.7: contracts use the blockchain schema, private transactions the non-blockchain schema)")
+)
+
+// checkWriteClass enforces the §3.7 schema rules for a table a statement
+// is about to modify.
+func (e *Engine) checkWriteClass(ctx *ExecCtx, table string) error {
+	t, err := e.store.Table(table)
+	if err != nil {
+		return err
+	}
+	class := t.Schema().Class
+	switch ctx.Mode {
+	case ModeSystem:
+		return nil
+	case ModeContract:
+		if class == storage.ClassBlockchain {
+			return nil
+		}
+		if class == storage.ClassSystem && ctx.AllowSystemWrites {
+			return nil
+		}
+	case ModePrivate:
+		if class == storage.ClassPrivate {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: cannot write %s table %q in this mode", ErrSchemaClass, className(class), table)
+}
+
+// checkReadClass forbids contracts from reading node-private tables —
+// their contents differ per node and would break determinism.
+func (e *Engine) checkReadClass(ctx *ExecCtx, table string) error {
+	if ctx.Mode != ModeContract {
+		return nil
+	}
+	t, err := e.store.Table(table)
+	if err != nil {
+		return err
+	}
+	if t.Schema().Class == storage.ClassPrivate {
+		return fmt.Errorf("%w: contract read of private table %q", ErrSchemaClass, table)
+	}
+	return nil
+}
+
+func className(c storage.SchemaClass) string {
+	switch c {
+	case storage.ClassBlockchain:
+		return "blockchain"
+	case storage.ClassPrivate:
+		return "private"
+	case storage.ClassSystem:
+		return "system"
+	}
+	return "?"
+}
+
+// ExecSQL parses and executes a single statement.
+func (e *Engine) ExecSQL(ctx *ExecCtx, sql string) (*Result, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(ctx, stmt)
+}
+
+// Exec executes a parsed statement.
+func (e *Engine) Exec(ctx *ExecCtx, stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		return e.execSelect(ctx, s)
+	case *sqlparser.Insert:
+		return e.execInsert(ctx, s)
+	case *sqlparser.Update:
+		return e.execUpdate(ctx, s)
+	case *sqlparser.Delete:
+		return e.execDelete(ctx, s)
+	case *sqlparser.CreateTable:
+		return e.execCreateTable(ctx, s)
+	case *sqlparser.CreateIndex:
+		return e.execCreateIndex(ctx, s)
+	case *sqlparser.DropTable:
+		return e.execDropTable(ctx, s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// --- DDL ---------------------------------------------------------------------
+
+func (e *Engine) execCreateTable(ctx *ExecCtx, s *sqlparser.CreateTable) (*Result, error) {
+	if ctx.Mode == ModeReadOnly {
+		return nil, ErrReadOnlyCtx
+	}
+	if len(s.PrimaryKey) == 0 {
+		return nil, fmt.Errorf("engine: table %s must declare a primary key", s.Name)
+	}
+	schema := storage.Schema{Name: s.Name, Class: ctx.DDLClass()}
+	cols, err := e.storageColumns(ctx, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+	schema.Columns = cols
+	for _, pk := range s.PrimaryKey {
+		idx := schema.ColIndex(pk)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: primary key column %q not in table %s", pk, s.Name)
+		}
+		schema.PKCols = append(schema.PKCols, idx)
+	}
+	if err := e.store.CreateTable(schema); err != nil {
+		if s.IfNotExists && errors.Is(err, storage.ErrTableExists) {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	// Column-level UNIQUE constraints become unique secondary indexes.
+	for _, c := range s.Columns {
+		if c.Unique && !c.PrimaryKey {
+			ord := schema.ColIndex(c.Name)
+			name := s.Name + "_" + c.Name + "_key"
+			if err := e.store.CreateIndex(s.Name, name, []int{ord}, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execCreateIndex(ctx *ExecCtx, s *sqlparser.CreateIndex) (*Result, error) {
+	if ctx.Mode == ModeReadOnly {
+		return nil, ErrReadOnlyCtx
+	}
+	t, err := e.store.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	var cols []int
+	for _, c := range s.Columns {
+		idx := schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: column %q not in table %s", c, s.Table)
+		}
+		cols = append(cols, idx)
+	}
+	if err := e.store.CreateIndex(s.Table, s.Name, cols, s.Unique); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execDropTable(ctx *ExecCtx, s *sqlparser.DropTable) (*Result, error) {
+	if ctx.Mode == ModeReadOnly {
+		return nil, ErrReadOnlyCtx
+	}
+	if err := e.store.DropTable(s.Name); err != nil {
+		if s.IfExists && errors.Is(err, storage.ErrNoSuchTable) {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	return &Result{}, nil
+}

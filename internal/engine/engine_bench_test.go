@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+func benchHarness(b *testing.B) *harness {
+	st := storage.NewStore()
+	h := &harness{st: st, eng: New(st)}
+	rec := storage.NewTxRecord(st.BeginTx(), 0)
+	ctx := &ExecCtx{Mode: ModeSystem, Rec: rec}
+	ddl := []string{
+		`CREATE TABLE accounts (id BIGINT PRIMARY KEY, owner TEXT, balance DOUBLE, region TEXT)`,
+		`CREATE INDEX accounts_region ON accounts (region)`,
+	}
+	for _, d := range ddl {
+		if _, err := h.eng.ExecSQL(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.AbortTx(rec)
+	// Seed 10k rows.
+	seed := storage.NewTxRecord(st.BeginTx(), 0)
+	sctx := &ExecCtx{Mode: ModeSystem, Rec: seed}
+	for i := 0; i < 10_000; i += 500 {
+		stmt := "INSERT INTO accounts VALUES "
+		for j := 0; j < 500; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			id := i + j
+			stmt += fmt.Sprintf("(%d, 'u%d', %d.5, 'r%d')", id, id, id%1000, id%20)
+		}
+		if _, err := h.eng.ExecSQL(sctx, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.CommitTx(seed, 1)
+	st.SetHeight(1)
+	h.block = 1
+	return h
+}
+
+func BenchmarkPointSelect(b *testing.B) {
+	h := benchHarness(b)
+	ctx := &ExecCtx{Mode: ModeReadOnly, Height: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := h.eng.ExecSQL(ctx, fmt.Sprintf(`SELECT balance FROM accounts WHERE id = %d`, i%10_000))
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexedRangeAggregate(b *testing.B) {
+	h := benchHarness(b)
+	ctx := &ExecCtx{Mode: ModeReadOnly, Height: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := h.eng.ExecSQL(ctx, fmt.Sprintf(`SELECT COUNT(*), SUM(balance) FROM accounts WHERE region = 'r%d'`, i%20))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContractStyleInsert(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := storage.NewTxRecord(h.st.BeginTx(), 1)
+		ctx := &ExecCtx{Mode: ModeContract, Height: 1, Rec: rec,
+			Params: []types.Value{types.NewInt(int64(100_000 + i))}}
+		_, err := h.eng.ExecSQL(ctx, `INSERT INTO accounts VALUES ($1, 'bench', 0.0, 'rb')`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.st.CommitTx(rec, 2)
+	}
+}
+
+func BenchmarkGroupByQuery(b *testing.B) {
+	h := benchHarness(b)
+	ctx := &ExecCtx{Mode: ModeReadOnly, Height: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := h.eng.ExecSQL(ctx, `SELECT region, COUNT(*), AVG(balance) FROM accounts GROUP BY region ORDER BY region`)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

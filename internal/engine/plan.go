@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"bcrdb/internal/index"
+	"bcrdb/internal/sqlparser"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparser.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// constValue evaluates an expression that references no table columns
+// (literals, params, procedure variables, arithmetic over them). It
+// reports ok=false when the expression depends on a relation.
+func (e *Engine) constValue(ctx *ExecCtx, x sqlparser.Expr) (types.Value, bool) {
+	hasCol := false
+	sqlparser.WalkExpr(x, func(n sqlparser.Expr) {
+		if _, ok := n.(*sqlparser.ColumnRef); ok {
+			hasCol = true
+		}
+		if f, ok := n.(*sqlparser.FuncCall); ok && sqlparser.AggregateFuncs[f.Name] {
+			hasCol = true
+		}
+	})
+	if hasCol {
+		return types.Null(), false
+	}
+	env := &evalEnv{ctx: ctx}
+	v, err := env.eval(x)
+	if err != nil {
+		return types.Null(), false
+	}
+	return v, true
+}
+
+// colBounds accumulates sargable constraints on one column.
+type colBounds struct {
+	eq       *types.Value
+	lo, hi   *types.Value
+	loInc    bool
+	hiInc    bool
+	hasLo    bool
+	hasHi    bool
+	hasPoint bool
+}
+
+func (b *colBounds) setEq(v types.Value) {
+	b.eq = &v
+	b.hasPoint = true
+}
+
+func (b *colBounds) setLo(v types.Value, inc bool) {
+	if !b.hasLo || types.Compare(v, *b.lo) > 0 {
+		b.lo, b.loInc, b.hasLo = &v, inc, true
+	}
+}
+
+func (b *colBounds) setHi(v types.Value, inc bool) {
+	if !b.hasHi || types.Compare(v, *b.hi) < 0 {
+		b.hi, b.hiInc, b.hasHi = &v, inc, true
+	}
+}
+
+// extractBounds mines the conjuncts for sargable constraints on columns
+// of the given table alias.
+func (e *Engine) extractBounds(ctx *ExecCtx, alias string, conjuncts []sqlparser.Expr) map[string]*colBounds {
+	out := make(map[string]*colBounds)
+	get := func(col string) *colBounds {
+		b := out[col]
+		if b == nil {
+			b = &colBounds{}
+			out[col] = b
+		}
+		return b
+	}
+	colOf := func(x sqlparser.Expr) (string, bool) {
+		c, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return "", false
+		}
+		if c.Table != "" && c.Table != alias {
+			return "", false
+		}
+		return c.Column, true
+	}
+	for _, cj := range conjuncts {
+		switch x := cj.(type) {
+		case *sqlparser.Binary:
+			col, colOK := colOf(x.L)
+			val, valOK := e.constValue(ctx, x.R)
+			op := x.Op
+			if !colOK || !valOK {
+				// Try flipped: const OP col.
+				col, colOK = colOf(x.R)
+				val, valOK = e.constValue(ctx, x.L)
+				if !colOK || !valOK {
+					continue
+				}
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+			}
+			if val.IsNull() {
+				continue
+			}
+			switch op {
+			case "=":
+				get(col).setEq(val)
+			case "<":
+				get(col).setHi(val, false)
+			case "<=":
+				get(col).setHi(val, true)
+			case ">":
+				get(col).setLo(val, false)
+			case ">=":
+				get(col).setLo(val, true)
+			}
+		case *sqlparser.Between:
+			if x.Not {
+				continue
+			}
+			col, colOK := colOf(x.X)
+			lo, loOK := e.constValue(ctx, x.Lo)
+			hi, hiOK := e.constValue(ctx, x.Hi)
+			if colOK && loOK && hiOK && !lo.IsNull() && !hi.IsNull() {
+				get(col).setLo(lo, true)
+				get(col).setHi(hi, true)
+			}
+		case *sqlparser.InList:
+			// Single-element IN acts as equality.
+			if !x.Not && len(x.List) == 1 {
+				if col, ok := colOf(x.X); ok {
+					if v, ok := e.constValue(ctx, x.List[0]); ok && !v.IsNull() {
+						get(col).setEq(v)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// chosenPlan is the access path for one base table.
+type chosenPlan struct {
+	indexName string
+	rng       index.Range
+	indexed   bool // false = full scan over the primary index
+}
+
+// chooseIndex picks the index with the longest equality prefix (plus an
+// optional range on the following column). Primary wins ties.
+func chooseIndex(t *storage.Table, bounds map[string]*colBounds) chosenPlan {
+	schema := t.Schema()
+	names := t.Indexes()
+	// Evaluate primary first so ties prefer it.
+	ordered := []string{t.PrimaryIndexName()}
+	for _, n := range names {
+		if n != t.PrimaryIndexName() {
+			ordered = append(ordered, n)
+		}
+	}
+	best := chosenPlan{indexName: t.PrimaryIndexName(), rng: index.AllRange()}
+	bestScore := -1
+	for _, name := range ordered {
+		cols, ok := t.IndexCols(name)
+		if !ok {
+			continue
+		}
+		var eqKey types.Key
+		var rangeB *colBounds
+		for _, c := range cols {
+			b := bounds[schema.Columns[c].Name]
+			if b == nil {
+				break
+			}
+			if b.hasPoint {
+				eqKey = append(eqKey, *b.eq)
+				continue
+			}
+			if b.hasLo || b.hasHi {
+				rangeB = b
+			}
+			break
+		}
+		score := len(eqKey) * 2
+		if rangeB != nil {
+			score++
+		}
+		if score == 0 || score <= bestScore {
+			continue
+		}
+		bestScore = score
+		var rng index.Range
+		switch {
+		case rangeB != nil:
+			rng = index.Range{LoInc: true, HiInc: true}
+			if rangeB.hasLo {
+				rng.Lo = append(eqKey.Clone(), *rangeB.lo)
+				rng.LoInc = rangeB.loInc
+			} else if len(eqKey) > 0 {
+				rng.Lo = eqKey.Clone()
+			}
+			if rangeB.hasHi {
+				rng.Hi = append(eqKey.Clone(), *rangeB.hi)
+				rng.HiInc = rangeB.hiInc
+			} else if len(eqKey) > 0 {
+				rng.Hi = eqKey.Clone()
+			}
+		case len(eqKey) == len(cols):
+			rng = index.PointRange(eqKey)
+		default:
+			rng = index.PrefixRange(eqKey)
+		}
+		best = chosenPlan{indexName: name, rng: rng, indexed: true}
+	}
+	return best
+}
+
+// scanned is one row produced by a base-table scan, with the sort keys
+// that make emission order deterministic.
+type scanned struct {
+	idxKey types.Key
+	pk     types.Key
+	ver    *storage.RowVersion
+}
+
+// baseSchema builds the relation schema for a table scan under an alias.
+func baseSchema(t *storage.Table, alias string, provenance bool) *relSchema {
+	schema := t.Schema()
+	rs := &relSchema{}
+	for _, c := range schema.Columns {
+		rs.add(alias, c.Name, c.Type)
+	}
+	if provenance {
+		rs.add(alias, "xmin", types.KindInt)
+		rs.add(alias, "xmax", types.KindInt)
+		rs.add(alias, "creator_block", types.KindInt)
+		rs.add(alias, "deleter_block", types.KindInt)
+	}
+	return rs
+}
+
+// scanBase reads all visible rows of the table under the given bounds,
+// in deterministic (index key, then primary key) order, recording the
+// scanned range and the versions read.
+func (e *Engine) scanBase(ctx *ExecCtx, tableName, alias string, conjuncts []sqlparser.Expr, provenance bool) (*relSchema, []types.Row, error) {
+	if err := e.checkReadClass(ctx, tableName); err != nil {
+		return nil, nil, err
+	}
+	t, err := e.store.Table(tableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+
+	// Contracts may not reference system columns outside provenance mode.
+	if !provenance {
+		for _, cj := range conjuncts {
+			var bad error
+			sqlparser.WalkExpr(cj, func(n sqlparser.Expr) {
+				if c, ok := n.(*sqlparser.ColumnRef); ok && isSystemColumn(c.Column) && schema.ColIndex(c.Column) < 0 {
+					bad = fmt.Errorf("%w: %s", ErrSysColumn, c.Column)
+				}
+			})
+			if bad != nil {
+				return nil, nil, bad
+			}
+		}
+	}
+
+	bounds := e.extractBounds(ctx, alias, conjuncts)
+	plan := chooseIndex(t, bounds)
+	if !plan.indexed && ctx.tracking() && ctx.RequireIndex {
+		return nil, nil, fmt.Errorf("%w: table %s", ErrNoIndex, tableName)
+	}
+
+	mode := storage.ScanVisible
+	if provenance {
+		mode = storage.ScanProvenance
+	}
+	if ctx.tracking() && !provenance {
+		ctx.Rec.NoteRange(tableName, plan.indexName, plan.rng)
+	}
+
+	var hits []scanned
+	err = e.store.ScanIndex(tableName, plan.indexName, plan.rng, ctx.selfID(), ctx.snapshotHeight(), mode, func(v *storage.RowVersion) bool {
+		hits = append(hits, scanned{pk: schema.PKKey(v.Data), ver: v})
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ixCols, _ := t.IndexCols(plan.indexName)
+	for i := range hits {
+		k := make(types.Key, len(ixCols))
+		for j, c := range ixCols {
+			k[j] = hits[i].ver.Data[c]
+		}
+		hits[i].idxKey = k
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if c := types.CompareKeys(hits[i].idxKey, hits[j].idxKey); c != 0 {
+			return c < 0
+		}
+		return types.CompareKeys(hits[i].pk, hits[j].pk) < 0
+	})
+
+	rs := baseSchema(t, alias, provenance)
+	rows := make([]types.Row, 0, len(hits))
+	for _, h := range hits {
+		if ctx.tracking() && !provenance {
+			ctx.Rec.NoteRead(tableName, h.ver.ID)
+		}
+		row := h.ver.Data.Clone()
+		if provenance {
+			row = append(row, types.NewInt(int64(h.ver.Xmin)))
+			if h.ver.Xmax != 0 {
+				row = append(row, types.NewInt(int64(h.ver.Xmax)))
+			} else {
+				row = append(row, types.Null())
+			}
+			if h.ver.CreatorBlk != storage.NoBlock {
+				row = append(row, types.NewInt(h.ver.CreatorBlk))
+			} else {
+				row = append(row, types.Null())
+			}
+			if h.ver.DeleterBlk != storage.NoBlock {
+				row = append(row, types.NewInt(h.ver.DeleterBlk))
+			} else {
+				row = append(row, types.Null())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rs, rows, nil
+}
+
+// isSystemColumn reports whether the name is a provenance pseudo-column.
+func isSystemColumn(name string) bool {
+	switch name {
+	case "xmin", "xmax", "creator_block", "deleter_block":
+		return true
+	}
+	return false
+}
+
+// scanForWrite returns the versions (not just rows) matching the
+// statement's WHERE for UPDATE/DELETE, in deterministic order, with read
+// tracking.
+func (e *Engine) scanForWrite(ctx *ExecCtx, tableName string, where sqlparser.Expr) ([]*storage.RowVersion, *relSchema, error) {
+	t, err := e.store.Table(tableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	conjuncts := splitConjuncts(where)
+	bounds := e.extractBounds(ctx, tableName, conjuncts)
+	plan := chooseIndex(t, bounds)
+	if !plan.indexed && ctx.tracking() && ctx.RequireIndex {
+		if where == nil {
+			return nil, nil, ErrBlindUpdate
+		}
+		return nil, nil, fmt.Errorf("%w: table %s", ErrNoIndex, tableName)
+	}
+	if ctx.tracking() {
+		ctx.Rec.NoteRange(tableName, plan.indexName, plan.rng)
+	}
+
+	rs := baseSchema(t, tableName, false)
+	var hits []scanned
+	err = e.store.ScanIndex(tableName, plan.indexName, plan.rng, ctx.selfID(), ctx.snapshotHeight(), storage.ScanVisible, func(v *storage.RowVersion) bool {
+		hits = append(hits, scanned{pk: schema.PKKey(v.Data), ver: v})
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		return types.CompareKeys(hits[i].pk, hits[j].pk) < 0
+	})
+
+	var out []*storage.RowVersion
+	for _, h := range hits {
+		if ctx.tracking() {
+			ctx.Rec.NoteRead(tableName, h.ver.ID)
+		}
+		if where != nil {
+			env := &evalEnv{ctx: ctx, rs: rs, row: h.ver.Data}
+			v, err := env.eval(where)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		out = append(out, h.ver)
+	}
+	return out, rs, nil
+}

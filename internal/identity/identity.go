@@ -1,0 +1,206 @@
+// Package identity provides the cryptographic identities of the network:
+// clients, database peers and orderer nodes. It corresponds to the
+// certificate infrastructure of the paper (§2(2), §3.1) and the pgCerts
+// catalog table (§4.2).
+//
+// Keys are Ed25519 (stdlib). An Identity is the public half plus
+// human-readable metadata (name, organization, role); a Signer also holds
+// the private key. Registries map names to identities and are the basis
+// for signature verification and access control on every node.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Role classifies what a registered identity may do.
+type Role string
+
+// Network roles.
+const (
+	RoleAdmin   Role = "admin"   // org administrator: deploys contracts, manages users
+	RoleClient  Role = "client"  // submits transactions
+	RolePeer    Role = "peer"    // database node
+	RoleOrderer Role = "orderer" // ordering service node
+)
+
+// Identity is a public identity registered with every node.
+type Identity struct {
+	Name   string
+	Org    string
+	Role   Role
+	PubKey ed25519.PublicKey
+}
+
+// ID returns a short stable fingerprint of the identity's public key.
+func (id *Identity) ID() string {
+	h := sha256.Sum256(id.PubKey)
+	return hex.EncodeToString(h[:8])
+}
+
+// Verify checks sig over msg against the identity's public key.
+func (id *Identity) Verify(msg, sig []byte) bool {
+	return len(id.PubKey) == ed25519.PublicKeySize && ed25519.Verify(id.PubKey, msg, sig)
+}
+
+// Signer is an identity together with its private key.
+type Signer struct {
+	Identity
+	priv ed25519.PrivateKey
+}
+
+// NewSigner generates a fresh identity. rand may be nil to use crypto/rand.
+func NewSigner(name, org string, role Role, rand io.Reader) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generate key for %s: %w", name, err)
+	}
+	return &Signer{
+		Identity: Identity{Name: name, Org: org, Role: role, PubKey: pub},
+		priv:     priv,
+	}, nil
+}
+
+// Sign signs msg with the private key.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// Public returns the public identity.
+func (s *Signer) Public() Identity { return s.Identity }
+
+// Registry is the set of identities known to a node — the paper's pgCerts.
+// It is safe for concurrent use.
+type Registry struct {
+	mu  sync.RWMutex
+	ids map[string]Identity // by Name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{ids: make(map[string]Identity)} }
+
+// Errors returned by registry operations.
+var (
+	ErrUnknownIdentity = errors.New("identity: unknown identity")
+	ErrDuplicate       = errors.New("identity: name already registered")
+	ErrBadSignature    = errors.New("identity: signature verification failed")
+)
+
+// Register adds an identity. Names are unique.
+func (r *Registry) Register(id Identity) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ids[id.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, id.Name)
+	}
+	r.ids[id.Name] = id
+	return nil
+}
+
+// Replace registers or overwrites an identity (used by user-management
+// system contracts, which are themselves ordered through consensus).
+func (r *Registry) Replace(id Identity) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ids[id.Name] = id
+}
+
+// Remove deletes an identity by name.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.ids, name)
+}
+
+// Lookup returns the identity registered under name.
+func (r *Registry) Lookup(name string) (Identity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.ids[name]
+	if !ok {
+		return Identity{}, fmt.Errorf("%w: %q", ErrUnknownIdentity, name)
+	}
+	return id, nil
+}
+
+// VerifyBy checks that sig over msg was produced by the named identity.
+func (r *Registry) VerifyBy(name string, msg, sig []byte) error {
+	id, err := r.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if !id.Verify(msg, sig) {
+		return fmt.Errorf("%w: signer %q", ErrBadSignature, name)
+	}
+	return nil
+}
+
+// Names returns all registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ids))
+	for n := range r.ids {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all identities sorted by name.
+func (r *Registry) All() []Identity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Identity, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Clone returns an independent copy of the registry (used when
+// bootstrapping nodes with the same initial certificate material, §3.7).
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := NewRegistry()
+	for n, id := range r.ids {
+		out.ids[n] = id
+	}
+	return out
+}
+
+// CountByRole returns how many identities carry the given role.
+func (r *Registry) CountByRole(role Role) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, id := range r.ids {
+		if id.Role == role {
+			n++
+		}
+	}
+	return n
+}
+
+// Orgs returns the distinct organizations present in the registry, sorted.
+func (r *Registry) Orgs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set := make(map[string]struct{})
+	for _, id := range r.ids {
+		set[id.Org] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,53 @@
+package index
+
+import (
+	"testing"
+
+	"bcrdb/internal/types"
+)
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(types.Key{types.NewInt(int64(i))}, uint64(i))
+	}
+}
+
+func BenchmarkInsertRandomOrder(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := int64(i*2654435761) % 1_000_000
+		tr.Insert(types.Key{types.NewInt(k)}, uint64(i))
+	}
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(types.Key{types.NewInt(int64(i))}, uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(types.Key{types.NewInt(int64(i % 100_000))})
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(types.Key{types.NewInt(int64(i))}, uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i % 99_000)
+		n := 0
+		tr.Scan(Range{
+			Lo: types.Key{types.NewInt(lo)}, Hi: types.Key{types.NewInt(lo + 99)},
+			LoInc: true, HiInc: true,
+		}, func(types.Key, []uint64) bool { n++; return true })
+	}
+}

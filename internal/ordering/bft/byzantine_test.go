@@ -1,0 +1,137 @@
+package bft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bcrdb/internal/codec"
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/types"
+)
+
+// TestEquivocatingLeaderCannotSplitDelivery simulates a byzantine leader
+// that proposes two different blocks for the same sequence number to
+// different subsets of replicas. The prepare quorum (2f matching digests
+// out of n = 3f+1) guarantees at most one digest can gather a quorum, so
+// honest replicas never deliver conflicting blocks.
+func TestEquivocatingLeaderCannotSplitDelivery(t *testing.T) {
+	c := newCluster(t, 4, ordering.Config{BlockSize: 1, BlockTimeout: time.Hour})
+
+	// Take over the leader: stop the honest process but keep its signing
+	// key (the adversary controls the leader's identity).
+	leader := c.orderers[0]
+	leaderSigner := leader.signer
+	leader.Stop()
+	evil, err := c.net.Register("evil-leader-proxy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two conflicting blocks for seq 1, both correctly signed.
+	mkBlock := func(id string) *ledger.Block {
+		b := &ledger.Block{
+			Number:    1,
+			Timestamp: 1,
+			Txs: []*ledger.Transaction{{
+				ID: id, Username: "u", Contract: "f",
+				Args: []types.Value{types.NewInt(1)},
+			}},
+		}
+		b.ComputeHash()
+		return b
+	}
+	bA := mkBlock("version-A")
+	bB := mkBlock("version-B")
+
+	encodePP := func(b *ledger.Block) []byte {
+		e := codec.NewBuf(512)
+		e.Uvarint(0) // view
+		e.Uvarint(1) // seq
+		e.Bytes2(b.Encode())
+		e.Bytes2(leaderSigner.Sign(ppSignBytes(0, 1, b.Hash)))
+		return e.Bytes()
+	}
+
+	// The pre-prepare sender must be the view-0 leader by name; our evil
+	// proxy is not, so these must be ignored outright — the protocol
+	// authenticates both the signature AND the channel identity.
+	for i := 1; i < 4; i++ {
+		payload := encodePP(bA)
+		if i == 3 {
+			payload = encodePP(bB)
+		}
+		_ = evil.Send(fmt.Sprintf("bft%d", i), kindPrePrepare, payload)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	c.mu.Lock()
+	for peer, bs := range c.blocks {
+		if len(bs) != 0 {
+			c.mu.Unlock()
+			t.Fatalf("peer %s delivered a block proposed by a non-leader channel", peer)
+		}
+	}
+	c.mu.Unlock()
+
+	// Even when the conflicting pre-prepares arrive over the leader's
+	// own channel (full key + channel compromise), at most one version
+	// can be delivered network-wide. Rebuild a cluster and drive the
+	// leader by hand.
+	c2 := newCluster(t, 4, ordering.Config{BlockSize: 1, BlockTimeout: time.Hour})
+	l2 := c2.orderers[0]
+	sig2 := l2.signer
+	l2.Stop()
+	// Re-register the leader's endpoint name under adversary control.
+	evil2, err := c2.net.Register(l2.name+"-tmp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = evil2
+	// The original endpoint is stopped but its name is reserved; spoof
+	// via a fresh endpoint is impossible (simnet pins From). Instead,
+	// send conflicting pre-prepares from the stopped leader's endpoint
+	// by restarting it under test control.
+	lep := l2.ep
+	lep.Restart()
+	lep.SetHandler(nil) // the adversary ignores inbound traffic
+
+	encode2 := func(b *ledger.Block) []byte {
+		e := codec.NewBuf(512)
+		e.Uvarint(0)
+		e.Uvarint(1)
+		e.Bytes2(b.Encode())
+		e.Bytes2(sig2.Sign(ppSignBytes(0, 1, b.Hash)))
+		return e.Bytes()
+	}
+	// Split the replicas: bft1, bft2 get version A; bft3 gets version B.
+	_ = lep.Send("bft1", kindPrePrepare, encode2(bA))
+	_ = lep.Send("bft2", kindPrePrepare, encode2(bA))
+	_ = lep.Send("bft3", kindPrePrepare, encode2(bB))
+
+	time.Sleep(300 * time.Millisecond)
+
+	// With f=1 and the leader faulty, version A has 2 prepares (bft1,
+	// bft2) = 2f — enough to prepare, and commits need 2f+1 = 3 distinct
+	// commit votes: bft1, bft2 plus... bft3 votes only for B. Neither
+	// version reaches 3 commits, so nothing is delivered — and certainly
+	// nothing conflicting.
+	c2.mu.Lock()
+	defer c2.mu.Unlock()
+	var delivered []string
+	for peer, bs := range c2.blocks {
+		for _, b := range bs {
+			delivered = append(delivered, fmt.Sprintf("%s:%s", peer, b.Txs[0].ID))
+		}
+	}
+	seen := map[uint64]string{}
+	for peer, bs := range c2.blocks {
+		for _, b := range bs {
+			if prev, ok := seen[b.Number]; ok && prev != b.Txs[0].ID {
+				t.Fatalf("divergent delivery for seq %d: %v (peer %s)", b.Number, delivered, peer)
+			}
+			seen[b.Number] = b.Txs[0].ID
+		}
+	}
+}

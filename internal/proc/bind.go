@@ -1,0 +1,116 @@
+package proc
+
+import (
+	"bcrdb/internal/engine"
+	"bcrdb/internal/sqlparser"
+	"bcrdb/internal/types"
+)
+
+// bindExpr rewrites unqualified ColumnRefs naming declared variables into
+// VarRefs, except when the name is also a column of a table in scope
+// (columns win, as in PL/pgSQL's default conflict resolution — name your
+// parameters distinctly). cols may be nil when no relation is in scope.
+func bindExpr(e sqlparser.Expr, vars map[string]types.Value, cols map[string]bool) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	return sqlparser.RewriteExpr(e, func(n sqlparser.Expr) sqlparser.Expr {
+		c, ok := n.(*sqlparser.ColumnRef)
+		if !ok || c.Table != "" {
+			return n
+		}
+		if _, isVar := vars[c.Column]; !isVar {
+			return n
+		}
+		if cols != nil && cols[c.Column] {
+			return n
+		}
+		return &sqlparser.VarRef{Name: c.Column}
+	})
+}
+
+// bindStatement rewrites variable references inside one SQL statement so
+// the planner can see them as constants (index bounds). The set of
+// columns in scope is the union of the statement's referenced tables'
+// columns; for INSERT value lists no relation is in scope.
+func bindStatement(eng *engine.Engine, stmt sqlparser.Statement, vars map[string]types.Value) sqlparser.Statement {
+	if len(vars) == 0 {
+		return stmt
+	}
+	st := eng.Store()
+	colsOf := func(tables []string) map[string]bool {
+		out := make(map[string]bool)
+		for _, tn := range tables {
+			t, err := st.Table(tn)
+			if err != nil {
+				continue
+			}
+			for _, c := range t.Schema().Columns {
+				out[c.Name] = true
+			}
+		}
+		return out
+	}
+
+	switch s := stmt.(type) {
+	case *sqlparser.Insert:
+		out := &sqlparser.Insert{Table: s.Table, Columns: s.Columns}
+		for _, row := range s.Rows {
+			nrow := make([]sqlparser.Expr, len(row))
+			for i, e := range row {
+				nrow[i] = bindExpr(e, vars, nil)
+			}
+			out.Rows = append(out.Rows, nrow)
+		}
+		return out
+
+	case *sqlparser.Update:
+		cols := colsOf([]string{s.Table})
+		out := &sqlparser.Update{Table: s.Table}
+		for _, sc := range s.Set {
+			out.Set = append(out.Set, sqlparser.SetClause{
+				Column: sc.Column, Value: bindExpr(sc.Value, vars, cols),
+			})
+		}
+		out.Where = bindExpr(s.Where, vars, cols)
+		return out
+
+	case *sqlparser.Delete:
+		cols := colsOf([]string{s.Table})
+		return &sqlparser.Delete{Table: s.Table, Where: bindExpr(s.Where, vars, cols)}
+
+	case *sqlparser.Select:
+		cols := colsOf(sqlparser.StatementTables(s))
+		out := &sqlparser.Select{
+			Distinct:   s.Distinct,
+			From:       s.From,
+			Provenance: s.Provenance,
+		}
+		for _, it := range s.Items {
+			nit := it
+			nit.Expr = bindExpr(it.Expr, vars, cols)
+			out.Items = append(out.Items, nit)
+		}
+		for _, j := range s.Joins {
+			nj := j
+			nj.On = bindExpr(j.On, vars, cols)
+			out.Joins = append(out.Joins, nj)
+		}
+		out.Where = bindExpr(s.Where, vars, cols)
+		for _, g := range s.GroupBy {
+			out.GroupBy = append(out.GroupBy, bindExpr(g, vars, cols))
+		}
+		out.Having = bindExpr(s.Having, vars, cols)
+		for _, o := range s.OrderBy {
+			no := o
+			no.Expr = bindExpr(o.Expr, vars, cols)
+			out.OrderBy = append(out.OrderBy, no)
+		}
+		out.Limit = bindExpr(s.Limit, vars, cols)
+		out.Offset = bindExpr(s.Offset, vars, cols)
+		return out
+
+	default:
+		return stmt
+	}
+}

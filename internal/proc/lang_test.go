@@ -1,0 +1,250 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"bcrdb/internal/types"
+)
+
+// These tests exercise the contract language itself: control flow,
+// variable scoping, coercions and determinism guards.
+
+func TestNestedIfElsif(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION grade(score BIGINT) RETURNS TEXT AS $$
+	BEGIN
+		IF score >= 90 THEN
+			IF score >= 97 THEN
+				RETURN 'A+';
+			END IF;
+			RETURN 'A';
+		ELSIF score >= 80 THEN
+			RETURN 'B';
+		ELSIF score >= 70 THEN
+			RETURN 'C';
+		ELSE
+			RETURN 'F';
+		END IF;
+	END;
+	$$`)
+	cases := map[int64]string{99: "A+", 91: "A", 85: "B", 75: "C", 10: "F"}
+	for score, want := range cases {
+		v := h.mustCall("alice", "grade", types.NewInt(score))
+		if v.Str() != want {
+			t.Errorf("grade(%d) = %v, want %s", score, v, want)
+		}
+	}
+}
+
+func TestDeclareInitFromParams(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION poly(x BIGINT) RETURNS BIGINT AS $$
+	DECLARE
+		sq BIGINT := x * x;
+		cu BIGINT := sq * x;
+	BEGIN
+		RETURN cu + sq + x;
+	END;
+	$$`)
+	if v := h.mustCall("alice", "poly", types.NewInt(3)); v.Int() != 27+9+3 {
+		t.Fatalf("poly(3) = %v", v)
+	}
+}
+
+func TestReturnCoercion(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION half(x BIGINT) RETURNS DOUBLE AS $$
+	BEGIN
+		RETURN x;
+	END;
+	$$`)
+	v := h.mustCall("alice", "half", types.NewInt(4))
+	if v.Kind() != types.KindFloat || v.Float() != 4.0 {
+		t.Fatalf("coerced return = %v (%s)", v, v.Kind())
+	}
+}
+
+func TestSelectIntoMultipleColumns(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE pts (id BIGINT PRIMARY KEY, x DOUBLE, y DOUBLE)`)
+	h.systemExec(`INSERT INTO pts VALUES (1, 3.0, 4.0)`)
+	h.deploy(`CREATE FUNCTION dist2(p_id BIGINT) RETURNS DOUBLE AS $$
+	DECLARE
+		vx DOUBLE;
+		vy DOUBLE;
+	BEGIN
+		SELECT x, y INTO vx, vy FROM pts WHERE id = p_id;
+		RETURN vx * vx + vy * vy;
+	END;
+	$$`)
+	if v := h.mustCall("alice", "dist2", types.NewInt(1)); v.Float() != 25.0 {
+		t.Fatalf("dist2 = %v", v)
+	}
+	// Zero rows → NULL variables.
+	h.deploy(`CREATE FUNCTION missing_is_null(p_id BIGINT) RETURNS BIGINT AS $$
+	DECLARE
+		vx DOUBLE;
+	BEGIN
+		SELECT x INTO vx FROM pts WHERE id = p_id;
+		IF vx IS NULL THEN
+			RETURN 1;
+		END IF;
+		RETURN 0;
+	END;
+	$$`)
+	if v := h.mustCall("alice", "missing_is_null", types.NewInt(999)); v.Int() != 1 {
+		t.Fatalf("missing row should yield NULL, got %v", v)
+	}
+}
+
+func TestLoopIterationCap(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION forever() RETURNS VOID AS $$
+	DECLARE
+		i BIGINT := 0;
+	BEGIN
+		WHILE TRUE LOOP
+			i := i + 1;
+		END LOOP;
+	END;
+	$$`)
+	_, err := h.call("alice", "forever")
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExitAndContinueInNestedLoops(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION count_special(n BIGINT) RETURNS BIGINT AS $$
+	DECLARE
+		i BIGINT := 0;
+		acc BIGINT := 0;
+	BEGIN
+		WHILE i < n LOOP
+			i := i + 1;
+			IF i % 3 = 0 THEN
+				CONTINUE;
+			END IF;
+			IF i > 7 THEN
+				EXIT;
+			END IF;
+			acc := acc + 1;
+		END LOOP;
+		RETURN acc;
+	END;
+	$$`)
+	// i: 1,2 count; 3 skipped; 4,5 count; 6 skipped; 7 counts; 8 exits → 5
+	if v := h.mustCall("alice", "count_special", types.NewInt(100)); v.Int() != 5 {
+		t.Fatalf("count_special = %v", v)
+	}
+}
+
+func TestContractDoingDML(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE journal (id BIGINT PRIMARY KEY, delta DOUBLE)`)
+	h.deploy(`CREATE FUNCTION book(p_id BIGINT, p_d DOUBLE) RETURNS BIGINT AS $$
+	DECLARE
+		n BIGINT;
+	BEGIN
+		INSERT INTO journal VALUES (p_id, p_d);
+		UPDATE journal SET delta = delta * 2 WHERE id = p_id;
+		SELECT COUNT(*) INTO n FROM journal;
+		RETURN n;
+	END;
+	$$`)
+	if v := h.mustCall("alice", "book", types.NewInt(1), types.NewFloat(2.5)); v.Int() != 1 {
+		t.Fatalf("book = %v", v)
+	}
+	res := h.query(`SELECT delta FROM journal WHERE id = 1`)
+	if res.Rows[0][0].Float() != 5.0 {
+		t.Fatalf("delta = %v", res.Rows[0][0])
+	}
+}
+
+func TestRaiseMessageComposition(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION fail_with(p BIGINT) RETURNS VOID AS $$
+	BEGIN
+		RAISE EXCEPTION 'bad value: ' || p;
+	END;
+	$$`)
+	_, err := h.call("alice", "fail_with", types.NewInt(42))
+	if err == nil || !strings.Contains(err.Error(), "bad value: 42") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAssignToUndeclaredFails(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION oops() RETURNS VOID AS $$
+	BEGIN
+		ghost := 1;
+	END;
+	$$`)
+	_, err := h.call("alice", "oops")
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIntoUndeclaredFails(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE t2 (id BIGINT PRIMARY KEY)`)
+	h.deploy(`CREATE FUNCTION oops2() RETURNS VOID AS $$
+	BEGIN
+		SELECT id INTO ghost FROM t2 WHERE id = 1;
+	END;
+	$$`)
+	_, err := h.call("alice", "oops2")
+	if err == nil || !strings.Contains(err.Error(), "not declared") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContractSeesOwnWrites(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE acc2 (id BIGINT PRIMARY KEY, v BIGINT)`)
+	h.deploy(`CREATE FUNCTION rmw() RETURNS BIGINT AS $$
+	DECLARE
+		x BIGINT;
+	BEGIN
+		INSERT INTO acc2 VALUES (1, 10);
+		UPDATE acc2 SET v = v + 5 WHERE id = 1;
+		SELECT v INTO x FROM acc2 WHERE id = 1;
+		RETURN x;
+	END;
+	$$`)
+	if v := h.mustCall("alice", "rmw"); v.Int() != 15 {
+		t.Fatalf("rmw = %v (read-your-writes broken)", v)
+	}
+}
+
+func TestDeterminismGuardsInsideContracts(t *testing.T) {
+	h := newProcHarness(t)
+	// LIMIT without ORDER BY inside a contract must fail.
+	h.deploy(`CREATE FUNCTION bad_limit() RETURNS VOID AS $$
+	DECLARE
+		x BIGINT;
+	BEGIN
+		SELECT id INTO x FROM sys_deployments LIMIT 1;
+	END;
+	$$`)
+	_, err := h.call("alice", "bad_limit")
+	if err == nil || !strings.Contains(err.Error(), "ORDER BY") {
+		t.Fatalf("err = %v", err)
+	}
+	// Nondeterministic builtins do not exist.
+	h.deploy(`CREATE FUNCTION bad_now() RETURNS VOID AS $$
+	DECLARE
+		x TEXT;
+	BEGIN
+		x := NOW();
+	END;
+	$$`)
+	_, err = h.call("alice", "bad_now")
+	if err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,498 @@
+package proc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bcrdb/internal/engine"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+// procHarness wires a store, engine and interpreter with system tables
+// and a couple of registered users.
+type procHarness struct {
+	t     *testing.T
+	st    *storage.Store
+	eng   *engine.Engine
+	in    *Interp
+	block int64
+}
+
+func newProcHarness(t *testing.T) *procHarness {
+	st := storage.NewStore()
+	eng := engine.New(st)
+	if err := CreateSystemTables(eng); err != nil {
+		t.Fatal(err)
+	}
+	h := &procHarness{t: t, st: st, eng: eng, in: NewInterp(eng)}
+	// Seed admin users for two orgs plus a plain client.
+	h.systemExec(`INSERT INTO sys_certs VALUES
+		('admin1', 'org1', 'admin', 'pk1'),
+		('admin2', 'org2', 'admin', 'pk2'),
+		('alice',  'org1', 'client', 'pk3')`)
+	return h
+}
+
+// systemExec runs a statement as the node itself and commits a block.
+func (h *procHarness) systemExec(sql string) {
+	h.t.Helper()
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &engine.ExecCtx{Mode: engine.ModeSystem, Height: h.block, Rec: rec}
+	if _, err := h.eng.ExecSQL(ctx, sql); err != nil {
+		h.t.Fatalf("systemExec %q: %v", sql, err)
+	}
+	h.commit(rec)
+}
+
+func (h *procHarness) commit(rec *storage.TxRecord) {
+	h.block++
+	h.st.CommitTx(rec, h.block)
+	h.st.SetHeight(h.block)
+}
+
+// call invokes a contract as the given user in a fresh transaction and
+// commits on success.
+func (h *procHarness) call(user, name string, args ...types.Value) (types.Value, error) {
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &engine.ExecCtx{Mode: engine.ModeContract, Height: h.block, Rec: rec, User: user}
+	v, err := h.in.Call(ctx, name, args)
+	if err != nil {
+		h.st.AbortTx(rec)
+		return v, err
+	}
+	h.commit(rec)
+	return v, nil
+}
+
+func (h *procHarness) mustCall(user, name string, args ...types.Value) types.Value {
+	h.t.Helper()
+	v, err := h.call(user, name, args...)
+	if err != nil {
+		h.t.Fatalf("call %s by %s: %v", name, user, err)
+	}
+	return v
+}
+
+// deploy pushes a contract through the full §3.7 governance flow.
+func (h *procHarness) deploy(src string) {
+	h.t.Helper()
+	id := h.mustCall("admin1", "create_deploytx", types.NewString(src))
+	h.mustCall("admin1", "approve_deploytx", id)
+	h.mustCall("admin2", "approve_deploytx", id)
+	h.mustCall("admin1", "submit_deploytx", id)
+}
+
+func (h *procHarness) query(sql string, params ...types.Value) *engine.Result {
+	h.t.Helper()
+	ctx := &engine.ExecCtx{Mode: engine.ModeReadOnly, Height: h.block, Params: params}
+	res, err := h.eng.ExecSQL(ctx, sql)
+	if err != nil {
+		h.t.Fatalf("query %q: %v", sql, err)
+	}
+	return res
+}
+
+// --- parsing ------------------------------------------------------------------
+
+func TestParseCreateFunction(t *testing.T) {
+	src := `CREATE FUNCTION transfer(from_id BIGINT, to_id BIGINT, amt DOUBLE) RETURNS VOID AS $$
+	DECLARE
+		bal DOUBLE;
+	BEGIN
+		SELECT balance INTO bal FROM accounts WHERE id = from_id;
+		IF bal IS NULL THEN
+			RAISE EXCEPTION 'no such account';
+		ELSIF bal < amt THEN
+			RAISE EXCEPTION 'insufficient funds';
+		END IF;
+		UPDATE accounts SET balance = balance - amt WHERE id = from_id;
+		UPDATE accounts SET balance = balance + amt WHERE id = to_id;
+	END;
+	$$ LANGUAGE plpgsql;`
+	p, err := ParseCreateFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "transfer" || len(p.Params) != 3 || p.Params[2].Type != types.KindFloat {
+		t.Fatalf("proc = %+v", p)
+	}
+	if len(p.Decls) != 1 || p.Decls[0].Name != "bal" {
+		t.Fatalf("decls = %+v", p.Decls)
+	}
+	if len(p.Body) != 4 {
+		t.Fatalf("body stmts = %d", len(p.Body))
+	}
+	if _, ok := p.Body[1].(*If); !ok {
+		t.Fatalf("stmt 2 = %T", p.Body[1])
+	}
+}
+
+func TestParseCreateOrReplace(t *testing.T) {
+	p, err := ParseCreateFunction(`CREATE OR REPLACE FUNCTION f() RETURNS BIGINT AS $$ BEGIN RETURN 1; END; $$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Replace || p.Returns != types.KindInt {
+		t.Fatalf("proc = %+v", p)
+	}
+}
+
+func TestParseWhileLoop(t *testing.T) {
+	p, err := ParseCreateFunction(`CREATE FUNCTION f(n BIGINT) RETURNS BIGINT AS $$
+	DECLARE
+		i BIGINT := 0;
+		acc BIGINT := 0;
+	BEGIN
+		WHILE i < n LOOP
+			i := i + 1;
+			IF i % 2 = 0 THEN
+				CONTINUE;
+			END IF;
+			acc := acc + i;
+			IF acc > 100 THEN
+				EXIT;
+			END IF;
+		END LOOP;
+		RETURN acc;
+	END;
+	$$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(p.Body))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`SELECT 1`,
+		`CREATE FUNCTION f() AS $$ BEGIN END; $$`,                                      // missing RETURNS
+		`CREATE FUNCTION f() RETURNS VOID AS BEGIN END;`,                               // missing $$
+		`CREATE FUNCTION f() RETURNS VOID AS $$ BEGIN END;`,                            // unterminated $$
+		`CREATE FUNCTION f(x BIGINT, x TEXT) RETURNS VOID AS $$ BEGIN RETURN; END; $$`, // dup param
+		`CREATE FUNCTION f() RETURNS VOID AS $$ BEGIN IF 1 THEN END; $$`,               // bad IF
+		`CREATE FUNCTION f() RETURNS VOID AS $$ BEGIN x := ; END; $$`,
+	}
+	for _, src := range cases {
+		if _, err := ParseCreateFunction(src); err == nil {
+			t.Errorf("ParseCreateFunction(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseDropFunction(t *testing.T) {
+	name, err := ParseDropFunction(`DROP FUNCTION foo;`)
+	if err != nil || name != "foo" {
+		t.Fatalf("got %q, %v", name, err)
+	}
+	if _, err := ParseDropFunction(`DROP TABLE foo`); err == nil {
+		t.Fatal("DROP TABLE should not parse as DROP FUNCTION")
+	}
+}
+
+// --- execution ------------------------------------------------------------------
+
+func TestDeployAndInvokeContract(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE accounts (id BIGINT PRIMARY KEY, balance DOUBLE NOT NULL)`)
+	h.systemExec(`INSERT INTO accounts VALUES (1, 100.0), (2, 50.0)`)
+
+	h.deploy(`CREATE FUNCTION transfer(from_id BIGINT, to_id BIGINT, amt DOUBLE) RETURNS VOID AS $$
+	DECLARE
+		bal DOUBLE;
+	BEGIN
+		SELECT balance INTO bal FROM accounts WHERE id = from_id;
+		IF bal IS NULL THEN
+			RAISE EXCEPTION 'no such account';
+		END IF;
+		IF bal < amt THEN
+			RAISE EXCEPTION 'insufficient funds';
+		END IF;
+		UPDATE accounts SET balance = balance - amt WHERE id = from_id;
+		UPDATE accounts SET balance = balance + amt WHERE id = to_id;
+	END;
+	$$ LANGUAGE plpgsql;`)
+
+	h.mustCall("alice", "transfer", types.NewInt(1), types.NewInt(2), types.NewFloat(30))
+	res := h.query(`SELECT balance FROM accounts ORDER BY id`)
+	if res.Rows[0][0].Float() != 70 || res.Rows[1][0].Float() != 80 {
+		t.Fatalf("balances = %v", res.Rows)
+	}
+
+	// Insufficient funds raises and aborts.
+	_, err := h.call("alice", "transfer", types.NewInt(1), types.NewInt(2), types.NewFloat(1000))
+	var raised *RaisedError
+	if !errors.As(err, &raised) || !strings.Contains(raised.Msg, "insufficient") {
+		t.Fatalf("err = %v", err)
+	}
+	// State unchanged after abort.
+	res = h.query(`SELECT balance FROM accounts WHERE id = 1`)
+	if res.Rows[0][0].Float() != 70 {
+		t.Fatalf("balance after abort = %v", res.Rows[0][0])
+	}
+
+	// Unknown account raises.
+	_, err = h.call("alice", "transfer", types.NewInt(99), types.NewInt(2), types.NewFloat(1))
+	if !errors.As(err, &raised) || !strings.Contains(raised.Msg, "no such") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContractReturnValueAndLoops(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION sum_odds(n BIGINT) RETURNS BIGINT AS $$
+	DECLARE
+		i BIGINT := 0;
+		acc BIGINT := 0;
+	BEGIN
+		WHILE i < n LOOP
+			i := i + 1;
+			IF i % 2 = 0 THEN
+				CONTINUE;
+			END IF;
+			acc := acc + i;
+		END LOOP;
+		RETURN acc;
+	END;
+	$$`)
+	v := h.mustCall("alice", "sum_odds", types.NewInt(10))
+	if v.Int() != 25 { // 1+3+5+7+9
+		t.Fatalf("sum_odds(10) = %v", v)
+	}
+}
+
+func TestContractCallsContract(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE log (id BIGINT PRIMARY KEY, msg TEXT)`)
+	h.deploy(`CREATE FUNCTION note(i BIGINT, m TEXT) RETURNS VOID AS $$
+	BEGIN
+		INSERT INTO log VALUES (i, m);
+	END;
+	$$`)
+	// Direct call works; nested invocation is covered by the interpreter
+	// sharing ctx across Call invocations.
+	h.mustCall("alice", "note", types.NewInt(1), types.NewString("hello"))
+	res := h.query(`SELECT msg FROM log WHERE id = 1`)
+	if res.Rows[0][0].Str() != "hello" {
+		t.Fatal("note failed")
+	}
+}
+
+func TestVariableColumnConflictColumnWins(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE t (id BIGINT PRIMARY KEY, balance DOUBLE)`)
+	h.systemExec(`INSERT INTO t VALUES (1, 10.0)`)
+	// Parameter named like the column: the column wins inside SQL.
+	h.deploy(`CREATE FUNCTION bump(balance DOUBLE) RETURNS VOID AS $$
+	BEGIN
+		UPDATE t SET balance = balance + 1 WHERE id = 1;
+	END;
+	$$`)
+	h.mustCall("alice", "bump", types.NewFloat(1000))
+	res := h.query(`SELECT balance FROM t WHERE id = 1`)
+	if res.Rows[0][0].Float() != 11.0 {
+		t.Fatalf("balance = %v (columns must shadow variables)", res.Rows[0][0])
+	}
+}
+
+func TestVarBindingEnablesIndexPlan(t *testing.T) {
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v TEXT)`)
+	h.systemExec(`INSERT INTO t VALUES (1, 'a'), (2, 'b')`)
+	h.deploy(`CREATE FUNCTION get_v(p_id BIGINT) RETURNS TEXT AS $$
+	DECLARE
+		out_v TEXT;
+	BEGIN
+		SELECT v INTO out_v FROM t WHERE id = p_id;
+		RETURN out_v;
+	END;
+	$$`)
+	// RequireIndex (execute-order-in-parallel mode) must accept the
+	// variable-bounded predicate.
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &engine.ExecCtx{Mode: engine.ModeContract, Height: h.block, Rec: rec,
+		User: "alice", RequireIndex: true}
+	v, err := h.in.Call(ctx, "get_v", []types.Value{types.NewInt(2)})
+	h.st.AbortTx(rec)
+	if err != nil {
+		t.Fatalf("indexed var predicate: %v", err)
+	}
+	if v.Str() != "b" {
+		t.Fatalf("get_v = %v", v)
+	}
+}
+
+func TestCurrentUserVisibleInContract(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION whoami() RETURNS TEXT AS $$
+	BEGIN
+		RETURN current_user;
+	END;
+	$$`)
+	v := h.mustCall("alice", "whoami")
+	if v.Str() != "alice" {
+		t.Fatalf("whoami = %v", v)
+	}
+}
+
+func TestUnknownContract(t *testing.T) {
+	h := newProcHarness(t)
+	_, err := h.call("alice", "missing")
+	if !errors.Is(err, ErrUnknownContract) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArgCountMismatch(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION f(a BIGINT) RETURNS VOID AS $$ BEGIN RETURN; END; $$`)
+	_, err := h.call("alice", "f")
+	if !errors.Is(err, ErrArgCount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- deployment governance ---------------------------------------------------------
+
+func TestDeploymentRequiresAllOrgApprovals(t *testing.T) {
+	h := newProcHarness(t)
+	id := h.mustCall("admin1", "create_deploytx",
+		types.NewString(`CREATE FUNCTION f() RETURNS VOID AS $$ BEGIN RETURN; END; $$`))
+	h.mustCall("admin1", "approve_deploytx", id)
+	// org2 has not approved.
+	if _, err := h.call("admin1", "submit_deploytx", id); err == nil ||
+		!strings.Contains(err.Error(), "org2") {
+		t.Fatalf("submit without full approval: %v", err)
+	}
+	h.mustCall("admin2", "approve_deploytx", id)
+	h.mustCall("admin1", "submit_deploytx", id)
+	// Now deployed.
+	if _, err := h.call("alice", "f"); err != nil {
+		t.Fatalf("call after deploy: %v", err)
+	}
+}
+
+func TestDeploymentRejection(t *testing.T) {
+	h := newProcHarness(t)
+	id := h.mustCall("admin1", "create_deploytx",
+		types.NewString(`CREATE FUNCTION g() RETURNS VOID AS $$ BEGIN RETURN; END; $$`))
+	h.mustCall("admin2", "comment_deploytx", id, types.NewString("needs review"))
+	h.mustCall("admin2", "reject_deploytx", id, types.NewString("not needed"))
+	if _, err := h.call("admin1", "approve_deploytx", id); err == nil {
+		t.Fatal("approve after rejection should fail")
+	}
+	res := h.query(`SELECT status, rejections, comments FROM sys_deployments WHERE id = $1`, id)
+	if res.Rows[0][0].Str() != "rejected" {
+		t.Fatalf("status = %v", res.Rows[0][0])
+	}
+	if !strings.Contains(res.Rows[0][1].Str(), "not needed") {
+		t.Fatalf("rejections = %v", res.Rows[0][1])
+	}
+	if !strings.Contains(res.Rows[0][2].Str(), "needs review") {
+		t.Fatalf("comments = %v", res.Rows[0][2])
+	}
+}
+
+func TestDeploymentRequiresAdmin(t *testing.T) {
+	h := newProcHarness(t)
+	_, err := h.call("alice", "create_deploytx",
+		types.NewString(`CREATE FUNCTION f() RETURNS VOID AS $$ BEGIN RETURN; END; $$`))
+	if !errors.Is(err, ErrNotAdmin) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeploymentValidatesSQL(t *testing.T) {
+	h := newProcHarness(t)
+	_, err := h.call("admin1", "create_deploytx", types.NewString(`SELECT 1`))
+	if err == nil {
+		t.Fatal("non-function SQL should be rejected")
+	}
+}
+
+func TestContractReplaceAndDrop(t *testing.T) {
+	h := newProcHarness(t)
+	h.deploy(`CREATE FUNCTION f() RETURNS BIGINT AS $$ BEGIN RETURN 1; END; $$`)
+	if v := h.mustCall("alice", "f"); v.Int() != 1 {
+		t.Fatalf("f() = %v", v)
+	}
+	// Replace.
+	h.deploy(`CREATE OR REPLACE FUNCTION f() RETURNS BIGINT AS $$ BEGIN RETURN 2; END; $$`)
+	if v := h.mustCall("alice", "f"); v.Int() != 2 {
+		t.Fatalf("replaced f() = %v", v)
+	}
+	// Creating without REPLACE over an existing name fails at submit.
+	id := h.mustCall("admin1", "create_deploytx",
+		types.NewString(`CREATE FUNCTION f() RETURNS BIGINT AS $$ BEGIN RETURN 3; END; $$`))
+	h.mustCall("admin1", "approve_deploytx", id)
+	h.mustCall("admin2", "approve_deploytx", id)
+	if _, err := h.call("admin1", "submit_deploytx", id); err == nil {
+		t.Fatal("create over existing without REPLACE should fail")
+	}
+	// Drop.
+	h.deploy(`DROP FUNCTION f;`)
+	if _, err := h.call("alice", "f"); !errors.Is(err, ErrUnknownContract) {
+		t.Fatalf("after drop err = %v", err)
+	}
+}
+
+// --- user management ------------------------------------------------------------------
+
+func TestUserManagement(t *testing.T) {
+	h := newProcHarness(t)
+	h.mustCall("admin1", "create_user",
+		types.NewString("bob"), types.NewString("org2"), types.NewString("client"), types.NewString("pk9"))
+	res := h.query(`SELECT org, role FROM sys_certs WHERE name = 'bob'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "org2" {
+		t.Fatalf("bob = %v", res.Rows)
+	}
+	h.mustCall("admin1", "update_user", types.NewString("bob"), types.NewString("pk10"))
+	res = h.query(`SELECT pubkey FROM sys_certs WHERE name = 'bob'`)
+	if res.Rows[0][0].Str() != "pk10" {
+		t.Fatal("update_user")
+	}
+	h.mustCall("admin1", "delete_user", types.NewString("bob"))
+	if len(h.query(`SELECT name FROM sys_certs WHERE name = 'bob'`).Rows) != 0 {
+		t.Fatal("delete_user")
+	}
+	// Clients cannot manage users.
+	if _, err := h.call("alice", "create_user",
+		types.NewString("eve"), types.NewString("org1"), types.NewString("client"), types.NewString("x")); !errors.Is(err, ErrNotAdmin) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad role rejected.
+	if _, err := h.call("admin1", "create_user",
+		types.NewString("eve"), types.NewString("org1"), types.NewString("root"), types.NewString("x")); err == nil {
+		t.Fatal("bad role should fail")
+	}
+}
+
+func TestContractUpgradeAbortsInFlight(t *testing.T) {
+	// A transaction that executed contract v1 must fail validation if the
+	// contract was replaced before its commit turn (§3.7: "any
+	// uncommitted transactions that executed on an older version of the
+	// contract are aborted").
+	h := newProcHarness(t)
+	h.systemExec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)`)
+	h.deploy(`CREATE FUNCTION put(i BIGINT) RETURNS VOID AS $$ BEGIN INSERT INTO t VALUES (i, 1); END; $$`)
+
+	// Start a transaction using v1 but do not commit yet.
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &engine.ExecCtx{Mode: engine.ModeContract, Height: h.block, Rec: rec, User: "alice"}
+	if _, err := h.in.Call(ctx, "put", []types.Value{types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile the contract is replaced (commits in later blocks).
+	h.deploy(`CREATE OR REPLACE FUNCTION put(i BIGINT) RETURNS VOID AS $$ BEGIN INSERT INTO t VALUES (i, 2); END; $$`)
+
+	// The in-flight transaction read the old contract row, now
+	// superseded: stale-read validation must abort it.
+	if err := h.st.Validate(rec, h.block+1); err == nil {
+		t.Fatal("transaction on old contract version should fail validation")
+	}
+	h.st.AbortTx(rec)
+}

@@ -1,0 +1,277 @@
+// Package ssi implements the serializable-snapshot-isolation decision
+// logic of the paper: the Ports-style "abort during commit" variant used
+// by the order-then-execute flow (§3.3) and the novel block-aware variant
+// of Table 2 used by execute-order-in-parallel (§3.4.3).
+//
+// The analysis runs over one block at a time. All inputs — read rows,
+// scanned index ranges, superseded versions, inserted keys — are
+// deterministic functions of (transaction, snapshot height, chain prefix),
+// so every replica reaches identical commit/abort decisions without
+// coordination.
+//
+// rw-dependency N →rw→ T means N read the old version of an object T
+// wrote: either N read a row version T superseded, or N scanned an index
+// range into which T inserted a key. Following the paper's terminology,
+// when T commits, the transactions in in(T) are its nearConflicts and the
+// transactions in in(N) for a nearConflict N are its farConflicts.
+package ssi
+
+import (
+	"sort"
+
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+// Mode selects the abort-rule variant.
+type Mode uint8
+
+// Modes.
+const (
+	// OrderThenExecute: all block transactions share the pre-block
+	// snapshot; Ports-style rules (§3.3.3).
+	OrderThenExecute Mode = iota
+	// ExecuteOrderParallel: per-transaction snapshot heights; block-aware
+	// rules of Table 2 for within-block structures. Cross-block conflicts
+	// are resolved by the storage layer's stale/phantom validation.
+	ExecuteOrderParallel
+)
+
+// KeyAt locates an index key touched by an insert.
+type KeyAt struct {
+	Table string
+	Index string
+	Key   types.Key
+}
+
+// TxInfo is what the analysis needs to know about one block transaction.
+type TxInfo struct {
+	Seq            int // position within the block (commit order)
+	SnapshotHeight int64
+
+	ReadRows     map[storage.ItemRef]struct{}
+	ReadRanges   []storage.RangeRef
+	WrittenOld   map[storage.ItemRef]struct{} // versions superseded (update/delete)
+	InsertedKeys []KeyAt                      // index keys of new versions
+}
+
+// State of a transaction during block processing.
+type state uint8
+
+const (
+	statePending state = iota
+	stateCommitted
+	stateAborted
+)
+
+// AbortReason explains an SSI abort decision.
+type AbortReason string
+
+// Abort reasons.
+const (
+	ReasonNone         AbortReason = ""
+	ReasonPivotMarked  AbortReason = "ssi: marked as nearConflict pivot"
+	ReasonOutCommitted AbortReason = "ssi: outConflict committed first"
+	ReasonSameBlock    AbortReason = "ssi: dangerous structure within block (Table 2)"
+)
+
+// Analysis holds the rw-dependency graph of one block and applies the
+// abort rules as the block processor walks transactions in commit order.
+type Analysis struct {
+	mode Mode
+	txs  []*TxInfo
+	// in[i]: seqs N with rw edge N→i. out[i]: seqs O with rw edge i→O.
+	in, out [][]int
+	st      []state
+	marked  []AbortReason
+}
+
+// NewAnalysis builds the within-block rw-dependency graph and, in
+// ExecuteOrderParallel mode, applies Table 2's same-block rules up front
+// (they depend only on block order, not on runtime state).
+//
+// txs must be ordered by Seq, with Seq equal to the slice position.
+func NewAnalysis(mode Mode, txs []*TxInfo) *Analysis {
+	n := len(txs)
+	a := &Analysis{
+		mode:   mode,
+		txs:    txs,
+		in:     make([][]int, n),
+		out:    make([][]int, n),
+		st:     make([]state, n),
+		marked: make([]AbortReason, n),
+	}
+	a.buildEdges()
+	if mode == ExecuteOrderParallel {
+		a.applyTable2SameBlock()
+	}
+	return a
+}
+
+// buildEdges computes all rw edges among block transactions.
+func (a *Analysis) buildEdges() {
+	// Row-granularity edges: reader → superseder.
+	writersOf := make(map[storage.ItemRef][]int)
+	for _, t := range a.txs {
+		for ir := range t.WrittenOld {
+			writersOf[ir] = append(writersOf[ir], t.Seq)
+		}
+	}
+	type edge struct{ from, to int }
+	seen := make(map[edge]bool)
+	addEdge := func(from, to int) {
+		if from == to || seen[edge{from, to}] {
+			return
+		}
+		seen[edge{from, to}] = true
+		a.out[from] = append(a.out[from], to)
+		a.in[to] = append(a.in[to], from)
+	}
+	for _, t := range a.txs {
+		for ir := range t.ReadRows {
+			for _, w := range writersOf[ir] {
+				addEdge(t.Seq, w)
+			}
+		}
+	}
+	// Predicate edges: range-scanner → inserter.
+	for _, w := range a.txs {
+		for _, k := range w.InsertedKeys {
+			for _, r := range a.txs {
+				if r.Seq == w.Seq {
+					continue
+				}
+				for _, rr := range r.ReadRanges {
+					if rr.Table == k.Table && rr.Index == k.Index && rr.Range.Contains(k.Key) {
+						addEdge(r.Seq, w.Seq)
+						break
+					}
+				}
+			}
+		}
+	}
+	// Deterministic adjacency order.
+	for i := range a.in {
+		sort.Ints(a.in[i])
+		sort.Ints(a.out[i])
+	}
+}
+
+// applyTable2SameBlock marks victims of dangerous structures whose
+// nearConflict and farConflict both sit in this block: per Table 2, the
+// one that would commit later (higher Seq) aborts. Structures with a
+// conflict outside the block need no action here — the outside
+// transaction fails its own stale-read/phantom validation at its own
+// commit turn (see DESIGN.md §4 for the argument).
+func (a *Analysis) applyTable2SameBlock() {
+	for _, anchor := range a.txs {
+		x := anchor.Seq
+		for _, n := range a.in[x] { // N →rw→ X: N is X's nearConflict
+			if a.marked[n] != ReasonNone {
+				continue
+			}
+			for _, f := range a.in[n] { // F →rw→ N: F is X's farConflict
+				if f == n || a.marked[f] != ReasonNone {
+					continue
+				}
+				victim := n
+				if f > n {
+					victim = f
+				}
+				if a.marked[victim] == ReasonNone {
+					a.marked[victim] = ReasonSameBlock
+				}
+			}
+		}
+	}
+}
+
+// ShouldAbort is consulted at a transaction's commit turn, before the
+// storage-level validation. It returns a non-empty reason if SSI demands
+// an abort.
+func (a *Analysis) ShouldAbort(seq int) AbortReason {
+	if r := a.marked[seq]; r != ReasonNone {
+		return r
+	}
+	if a.mode == OrderThenExecute {
+		// Ports rule (fig. 2(c) discussion): abort a transaction whose
+		// outConflict has committed — it may be the pivot of a dangerous
+		// structure whose in-edge is an untracked wr-dependency.
+		for _, o := range a.out[seq] {
+			if a.st[o] == stateCommitted {
+				return ReasonOutCommitted
+			}
+		}
+	}
+	return ReasonNone
+}
+
+// MarkCommitted records that seq committed. In OrderThenExecute mode it
+// then applies the paper's pair rule: for every (nearConflict N,
+// farConflict F) of the just-committed transaction with both still
+// uncommitted, N — the pivot — is marked for abort "so that an immediate
+// retry can succeed".
+func (a *Analysis) MarkCommitted(seq int) {
+	a.st[seq] = stateCommitted
+	if a.mode != OrderThenExecute {
+		return
+	}
+	for _, n := range a.in[seq] {
+		if a.st[n] != statePending || a.marked[n] != ReasonNone {
+			continue
+		}
+		for _, f := range a.in[n] {
+			if f != n && a.st[f] == statePending && a.marked[f] == ReasonNone {
+				a.marked[n] = ReasonPivotMarked
+				break
+			}
+		}
+	}
+}
+
+// MarkAborted records that seq aborted (for any reason, SSI or
+// storage-level). Its edges no longer participate in structures.
+func (a *Analysis) MarkAborted(seq int) {
+	a.st[seq] = stateAborted
+	a.removeEdges(seq)
+}
+
+// removeEdges detaches an aborted transaction from the graph.
+func (a *Analysis) removeEdges(seq int) {
+	for _, o := range a.out[seq] {
+		a.in[o] = removeInt(a.in[o], seq)
+	}
+	for _, i := range a.in[seq] {
+		a.out[i] = removeInt(a.out[i], seq)
+	}
+	a.out[seq] = nil
+	a.in[seq] = nil
+}
+
+func removeInt(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Edges returns the current rw adjacency (for diagnostics and tests):
+// pairs (from, to).
+func (a *Analysis) Edges() [][2]int {
+	var out [][2]int
+	for from, tos := range a.out {
+		for _, to := range tos {
+			out = append(out, [2]int{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,48 @@
+package ssi
+
+import (
+	"testing"
+
+	"bcrdb/internal/storage"
+)
+
+// buildBlock constructs n transactions with overlapping read/write sets
+// (every tx reads 4 rows and supersedes 1, with sharing that creates rw
+// edges).
+func buildBlock(n int) []*TxInfo {
+	txs := make([]*TxInfo, n)
+	for i := 0; i < n; i++ {
+		info := &TxInfo{
+			Seq:      i,
+			ReadRows: make(map[storage.ItemRef]struct{}, 4),
+			WrittenOld: map[storage.ItemRef]struct{}{
+				{Table: "t", Ref: uint64(i % (n / 2))}: {},
+			},
+		}
+		for j := 0; j < 4; j++ {
+			info.ReadRows[storage.ItemRef{Table: "t", Ref: uint64((i + j) % n)}] = struct{}{}
+		}
+		txs[i] = info
+	}
+	return txs
+}
+
+func benchAnalysis(b *testing.B, mode Mode, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		txs := buildBlock(n)
+		a := NewAnalysis(mode, txs)
+		for seq := 0; seq < n; seq++ {
+			if a.ShouldAbort(seq) != ReasonNone {
+				a.MarkAborted(seq)
+			} else {
+				a.MarkCommitted(seq)
+			}
+		}
+	}
+}
+
+func BenchmarkAnalysisOE100(b *testing.B) { benchAnalysis(b, OrderThenExecute, 100) }
+func BenchmarkAnalysisOE500(b *testing.B) { benchAnalysis(b, OrderThenExecute, 500) }
+func BenchmarkAnalysisEO100(b *testing.B) { benchAnalysis(b, ExecuteOrderParallel, 100) }
+func BenchmarkAnalysisEO500(b *testing.B) { benchAnalysis(b, ExecuteOrderParallel, 500) }

@@ -1,0 +1,1015 @@
+// Package storage implements the versioned relational store underneath the
+// engine: tables of row versions in PostgreSQL style, where every update
+// flags the old version and inserts a new one, and nothing is ever purged.
+//
+// Each version carries two pieces of lineage, exactly as §4.3 of the paper
+// prescribes:
+//
+//   - xmin / xmax         — node-local transaction ids (nondeterministic
+//     across nodes, used for recovery and provenance);
+//   - creator / deleter   — the *block* numbers that created and deleted
+//     the version (deterministic across nodes; the basis
+//     of SSI based on block height, §3.4.1).
+//
+// Visibility is purely a function of (snapshot block height, committed
+// chain), which is what makes transaction execution deterministic on every
+// replica regardless of scheduling.
+package storage
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bcrdb/internal/codec"
+	"bcrdb/internal/index"
+	"bcrdb/internal/types"
+)
+
+// TxID is a node-local transaction identifier (the PostgreSQL xid
+// equivalent). TxID 0 is reserved and never assigned.
+type TxID uint64
+
+// NoBlock marks an unset creator/deleter block stamp.
+const NoBlock int64 = -1
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    types.Kind
+	NotNull bool
+	// HasDefault/Default supply the value for columns omitted from an
+	// INSERT column list. Defaults are constant (evaluated at CREATE
+	// time) so replicas cannot diverge.
+	HasDefault bool
+	Default    types.Value
+}
+
+// Schema describes a table: columns and primary key ordinals.
+type Schema struct {
+	Name    string
+	Columns []Column
+	PKCols  []int // ordinals into Columns; never empty
+	// Class partitions tables into the paper's blockchain schema
+	// (replicated, contract-writable only) and the node-private
+	// non-blockchain schema (§3.7).
+	Class SchemaClass
+	// HashExempt excludes the table from StateHash. Used for sys_ledger,
+	// whose local_xid column is node-local by design (§4.2).
+	HashExempt bool
+}
+
+// SchemaClass distinguishes replicated from node-private tables.
+type SchemaClass uint8
+
+// Schema classes.
+const (
+	ClassBlockchain SchemaClass = iota // replicated, mutated only via contracts
+	ClassPrivate                       // node-local, ordinary transactions
+	ClassSystem                        // sys_ledger etc.; mutated by the node itself
+)
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PKKey extracts the primary key of a row.
+func (s *Schema) PKKey(row types.Row) types.Key {
+	k := make(types.Key, len(s.PKCols))
+	for i, c := range s.PKCols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// RowVersion is one version of one logical row. Fields other than ID and
+// Data are guarded by the owning table's mutex.
+type RowVersion struct {
+	ID   uint64 // heap reference, unique within the table
+	Data types.Row
+
+	Xmin TxID // creating transaction (node-local)
+	Xmax TxID // deleting transaction, 0 if none
+
+	CreatorBlk int64 // block that committed the insert; NoBlock while provisional
+	DeleterBlk int64 // block that committed the delete; NoBlock if live
+
+	aborted bool // creating transaction aborted; version is dead
+}
+
+// IndexDef is an index attached to a table.
+type IndexDef struct {
+	Name   string
+	Cols   []int // column ordinals
+	Unique bool
+	tree   *index.BTree
+}
+
+// KeyFor extracts this index's key from a row.
+func (ix *IndexDef) KeyFor(row types.Row) types.Key {
+	k := make(types.Key, len(ix.Cols))
+	for i, c := range ix.Cols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// Table is a versioned heap plus its indexes.
+type Table struct {
+	mu      sync.RWMutex
+	schema  Schema
+	heap    map[uint64]*RowVersion
+	nextRef uint64
+	primary *IndexDef
+	indexes map[string]*IndexDef // by name, includes primary
+}
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// PrimaryIndexName returns the name of the primary-key index.
+func (t *Table) PrimaryIndexName() string { return t.primary.Name }
+
+// Indexes returns the names of all indexes in sorted order.
+func (t *Table) Indexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndexOn returns the name of an index whose leading columns are exactly
+// cols (a prefix match on ordinals), preferring the primary index, or "".
+func (t *Table) IndexOn(cols []int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	match := func(ix *IndexDef) bool {
+		if len(ix.Cols) < len(cols) {
+			return false
+		}
+		for i, c := range cols {
+			if ix.Cols[i] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if match(t.primary) {
+		return t.primary.Name
+	}
+	var names []string
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if match(t.indexes[n]) {
+			return n
+		}
+	}
+	return ""
+}
+
+// IndexCols returns the column ordinals of the named index.
+func (t *Table) IndexCols(name string) ([]int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]int(nil), ix.Cols...), true
+}
+
+// --- transaction records -----------------------------------------------------
+
+// ItemRef identifies a row version globally (table + heap ref).
+type ItemRef struct {
+	Table string
+	Ref   uint64
+}
+
+// RangeRef identifies a scanned index range (for phantom detection and
+// predicate rw-dependencies).
+type RangeRef struct {
+	Table string
+	Index string
+	Range index.Range
+}
+
+// TxRecord accumulates a transaction's read and write sets during
+// execution. It is the unit the SSI analysis and the commit-turn
+// validation consume. All population happens on the single goroutine
+// executing the transaction.
+type TxRecord struct {
+	ID             TxID
+	SnapshotHeight int64
+
+	ReadRows   map[ItemRef]struct{} // versions actually read
+	ReadRanges []RangeRef           // index ranges scanned
+	Inserted   []ItemRef            // provisional new versions (insert + update-new)
+	DeletedOld []ItemRef            // old versions this tx supersedes (update/delete)
+
+	// ReadOnly transactions skip tracking entirely (§4.3: individual
+	// SELECTs are not blockchain transactions).
+	ReadOnly bool
+}
+
+// NewTxRecord returns an empty record for a transaction executing at the
+// given snapshot height.
+func NewTxRecord(id TxID, height int64) *TxRecord {
+	return &TxRecord{
+		ID:             id,
+		SnapshotHeight: height,
+		ReadRows:       make(map[ItemRef]struct{}),
+	}
+}
+
+// NoteRead records that the transaction read the given version.
+func (r *TxRecord) NoteRead(table string, ref uint64) {
+	if r.ReadOnly {
+		return
+	}
+	r.ReadRows[ItemRef{table, ref}] = struct{}{}
+}
+
+// NoteRange records a scanned index range.
+func (r *TxRecord) NoteRange(table, ixName string, rng index.Range) {
+	if r.ReadOnly {
+		return
+	}
+	r.ReadRanges = append(r.ReadRanges, RangeRef{table, ixName, rng})
+}
+
+// HasWrites reports whether the transaction wrote anything.
+func (r *TxRecord) HasWrites() bool {
+	return len(r.Inserted) > 0 || len(r.DeletedOld) > 0
+}
+
+// --- transaction status ------------------------------------------------------
+
+type txStatusKind uint8
+
+const (
+	txInProgress txStatusKind = iota
+	txCommitted
+	txAborted
+)
+
+type txState struct {
+	kind  txStatusKind
+	block int64
+}
+
+// Store is one node's database: catalog, heaps, indexes and the
+// transaction status table (the CLOG equivalent).
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	txMu sync.RWMutex
+	tx   map[TxID]txState
+
+	nextTx atomic.Uint64
+	height atomic.Int64 // last committed block number
+}
+
+// Sentinel errors surfaced to the engine.
+var (
+	ErrNoSuchTable     = errors.New("storage: no such table")
+	ErrTableExists     = errors.New("storage: table already exists")
+	ErrNoSuchIndex     = errors.New("storage: no such index")
+	ErrIndexExists     = errors.New("storage: index already exists")
+	ErrNotNull         = errors.New("storage: NOT NULL constraint violated")
+	ErrUniqueViolation = errors.New("storage: unique constraint violated")
+	ErrArity           = errors.New("storage: wrong number of columns")
+)
+
+// NewStore returns an empty store at height 0 (genesis).
+func NewStore() *Store {
+	s := &Store{
+		tables: make(map[string]*Table),
+		tx:     make(map[TxID]txState),
+	}
+	return s
+}
+
+// Height returns the last committed block number.
+func (s *Store) Height() int64 { return s.height.Load() }
+
+// SetHeight records that all blocks up to h are committed.
+func (s *Store) SetHeight(h int64) { s.height.Store(h) }
+
+// BeginTx allocates a fresh node-local transaction id.
+func (s *Store) BeginTx() TxID {
+	id := TxID(s.nextTx.Add(1))
+	s.txMu.Lock()
+	s.tx[id] = txState{kind: txInProgress}
+	s.txMu.Unlock()
+	return id
+}
+
+func (s *Store) txStatus(id TxID) txState {
+	if id == 0 {
+		return txState{kind: txAborted}
+	}
+	s.txMu.RLock()
+	st := s.tx[id]
+	s.txMu.RUnlock()
+	return st
+}
+
+// IsCommitted reports whether the transaction has committed, and in which
+// block.
+func (s *Store) IsCommitted(id TxID) (bool, int64) {
+	st := s.txStatus(id)
+	return st.kind == txCommitted, st.block
+}
+
+// --- DDL ----------------------------------------------------------------------
+
+// CreateTable creates a table with a primary-key index named
+// "<table>_pkey".
+func (s *Store) CreateTable(schema Schema) error {
+	if len(schema.PKCols) == 0 {
+		return fmt.Errorf("storage: table %s needs a primary key", schema.Name)
+	}
+	for _, c := range schema.PKCols {
+		if c < 0 || c >= len(schema.Columns) {
+			return fmt.Errorf("storage: table %s: bad pk ordinal %d", schema.Name, c)
+		}
+		schema.Columns[c].NotNull = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[schema.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, schema.Name)
+	}
+	pk := &IndexDef{
+		Name:   schema.Name + "_pkey",
+		Cols:   append([]int(nil), schema.PKCols...),
+		Unique: true,
+		tree:   index.New(),
+	}
+	t := &Table{
+		schema:  schema,
+		heap:    make(map[uint64]*RowVersion),
+		primary: pk,
+		indexes: map[string]*IndexDef{pk.Name: pk},
+	}
+	s.tables[schema.Name] = t
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (s *Store) HasTable(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[name]
+	return ok
+}
+
+// TableNames returns all table names sorted.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex adds a secondary index over the named columns and backfills
+// it from the heap.
+func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[name]; ok {
+		return fmt.Errorf("%w: %s", ErrIndexExists, name)
+	}
+	ix := &IndexDef{Name: name, Cols: append([]int(nil), cols...), Unique: unique, tree: index.New()}
+	for _, v := range t.heap {
+		if !v.aborted {
+			ix.tree.Insert(ix.KeyFor(v.Data), v.ID)
+		}
+	}
+	t.indexes[name] = ix
+	return nil
+}
+
+// --- visibility ----------------------------------------------------------------
+
+// visibleAt reports whether version v is visible to a transaction with
+// the given snapshot height and own id. Caller holds the table lock
+// (read or write).
+func (s *Store) visibleAt(v *RowVersion, self TxID, height int64) bool {
+	if v.aborted {
+		return false
+	}
+	// Own writes: visible unless deleted by self.
+	if v.Xmin == self {
+		return v.Xmax != self
+	}
+	// Created by another tx: must be committed at or below the snapshot.
+	if cst := s.txStatus(v.Xmin); cst.kind != txCommitted || cst.block > height {
+		return false
+	}
+	// Deleted by self: invisible. (Guard Xmax != 0: self may be 0 when
+	// hashing state with no transaction context.)
+	if v.Xmax != 0 && v.Xmax == self {
+		return false
+	}
+	// Deleted by a committed tx at or below the snapshot: invisible.
+	if v.Xmax != 0 {
+		if dst := s.txStatus(v.Xmax); dst.kind == txCommitted && dst.block <= height {
+			return false
+		}
+	}
+	return true
+}
+
+// committedAt reports whether version v existed in the committed state as
+// of height (ignoring any in-progress activity). Used by provenance
+// queries, which see both live and superseded versions.
+func (s *Store) committedAt(v *RowVersion, height int64) bool {
+	if v.aborted {
+		return false
+	}
+	cst := s.txStatus(v.Xmin)
+	return cst.kind == txCommitted && cst.block <= height
+}
+
+// --- reads ----------------------------------------------------------------------
+
+// ScanMode selects which versions a scan yields.
+type ScanMode uint8
+
+// Scan modes.
+const (
+	ScanVisible    ScanMode = iota // SI visibility at the snapshot height
+	ScanProvenance                 // all committed versions ≤ height, live or dead
+)
+
+// ScanIndex iterates versions reachable through the named index within
+// rng, in index-key order (ties broken by ascending heap ref), invoking
+// fn with each version. fn must not retain v or modify the store.
+// Returning false stops the scan.
+func (s *Store) ScanIndex(table, ixName string, rng index.Range, self TxID, height int64, mode ScanMode, fn func(v *RowVersion) bool) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[ixName]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, table, ixName)
+	}
+	ix.tree.Scan(rng, func(_ types.Key, refs []uint64) bool {
+		for _, ref := range refs {
+			v := t.heap[ref]
+			if v == nil {
+				continue
+			}
+			var vis bool
+			if mode == ScanProvenance {
+				vis = s.committedAt(v, height)
+			} else {
+				vis = s.visibleAt(v, self, height)
+			}
+			if vis && !fn(v) {
+				return false
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// Get returns the version with the given heap ref, or nil.
+func (s *Store) Get(table string, ref uint64) *RowVersion {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap[ref]
+}
+
+// --- writes ---------------------------------------------------------------------
+
+// Insert creates a provisional version owned by rec's transaction. NOT
+// NULL and arity are checked immediately; uniqueness against the visible
+// snapshot is checked immediately (PostgreSQL-style), while conflicts
+// with concurrent transactions are resolved at commit turn.
+func (s *Store) Insert(rec *TxRecord, table string, row types.Row) (*RowVersion, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) != len(t.schema.Columns) {
+		return nil, fmt.Errorf("%w: table %s has %d columns, got %d",
+			ErrArity, table, len(t.schema.Columns), len(row))
+	}
+	for i, c := range t.schema.Columns {
+		if c.NotNull && row[i].IsNull() {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, table, c.Name)
+		}
+		if !row[i].IsNull() && row[i].Kind() != c.Type {
+			cv, err := types.CoerceToKind(row[i], c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: %s.%s: %v", table, c.Name, err)
+			}
+			row[i] = cv
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Versions this transaction already superseded (the delete half of an
+	// UPDATE) do not count as unique-key conflicts.
+	superseded := make(map[uint64]bool)
+	for _, ir := range rec.DeletedOld {
+		if ir.Table == table {
+			superseded[ir.Ref] = true
+		}
+	}
+
+	// Immediate unique checks against the visible snapshot.
+	for _, ix := range t.indexes {
+		if !ix.Unique {
+			continue
+		}
+		key := ix.KeyFor(row)
+		for _, ref := range ix.tree.Get(key) {
+			if superseded[ref] {
+				continue
+			}
+			v := t.heap[ref]
+			if v != nil && s.visibleAt(v, rec.ID, rec.SnapshotHeight) {
+				return nil, fmt.Errorf("%w: %s on %s key %s",
+					ErrUniqueViolation, ix.Name, table, key)
+			}
+		}
+	}
+
+	t.nextRef++
+	v := &RowVersion{
+		ID:         t.nextRef,
+		Data:       row.Clone(),
+		Xmin:       rec.ID,
+		CreatorBlk: NoBlock,
+		DeleterBlk: NoBlock,
+	}
+	t.heap[v.ID] = v
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.KeyFor(v.Data), v.ID)
+	}
+	rec.Inserted = append(rec.Inserted, ItemRef{table, v.ID})
+	return v, nil
+}
+
+// MarkDelete registers that rec's transaction supersedes version ref
+// (the delete half of UPDATE, or a plain DELETE). The version stays
+// visible to others until commit.
+func (s *Store) MarkDelete(rec *TxRecord, table string, ref uint64) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.heap[ref]
+	if !ok {
+		return fmt.Errorf("storage: %s: no version %d", table, ref)
+	}
+	if v.Xmin == rec.ID {
+		// Deleting our own provisional insert: mark it so it is
+		// invisible to ourselves and skipped at commit.
+		v.Xmax = rec.ID
+		return nil
+	}
+	rec.DeletedOld = append(rec.DeletedOld, ItemRef{table, ref})
+	return nil
+}
+
+// --- commit / abort --------------------------------------------------------------
+
+// CommitTx stamps rec's writes with the given block number and marks the
+// transaction committed. The caller (the block processor) serializes all
+// CommitTx/AbortTx calls, so block stamps are deterministic.
+func (s *Store) CommitTx(rec *TxRecord, block int64) {
+	for _, ir := range rec.Inserted {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.Lock()
+		if v := t.heap[ir.Ref]; v != nil {
+			if v.Xmax == rec.ID {
+				// Inserted and deleted within the same transaction:
+				// never becomes visible; drop it.
+				s.dropVersionLocked(t, v)
+			} else {
+				v.CreatorBlk = block
+			}
+		}
+		t.mu.Unlock()
+	}
+	for _, ir := range rec.DeletedOld {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.Lock()
+		if v := t.heap[ir.Ref]; v != nil {
+			v.Xmax = rec.ID
+			v.DeleterBlk = block
+		}
+		t.mu.Unlock()
+	}
+	s.txMu.Lock()
+	s.tx[rec.ID] = txState{kind: txCommitted, block: block}
+	s.txMu.Unlock()
+}
+
+// AbortTx discards rec's provisional versions and marks the transaction
+// aborted.
+func (s *Store) AbortTx(rec *TxRecord) {
+	for _, ir := range rec.Inserted {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.Lock()
+		if v := t.heap[ir.Ref]; v != nil {
+			s.dropVersionLocked(t, v)
+		}
+		t.mu.Unlock()
+	}
+	s.txMu.Lock()
+	s.tx[rec.ID] = txState{kind: txAborted}
+	s.txMu.Unlock()
+}
+
+// dropVersionLocked removes v from heap and indexes. Caller holds t.mu.
+func (s *Store) dropVersionLocked(t *Table, v *RowVersion) {
+	v.aborted = true
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.KeyFor(v.Data), v.ID)
+	}
+	delete(t.heap, v.ID)
+}
+
+// --- commit-turn validation -------------------------------------------------------
+
+// ValidationError describes why a transaction failed commit-turn
+// validation.
+type ValidationError struct {
+	Kind   string // "stale-read", "phantom", "ww-conflict", "unique"
+	Table  string
+	Detail string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("storage: %s on %s: %s", e.Kind, e.Table, e.Detail)
+}
+
+// Validate re-checks rec at its commit turn inside block `current`:
+//
+//   - stale reads: a version rec read was superseded by a block in
+//     (snapshot, current) — §3.4.1 rule 2;
+//   - phantoms: a version matching one of rec's scanned ranges was created
+//     by a block in (snapshot, current) and is still live — §3.4.1 rule 1;
+//   - ww conflicts: a version rec supersedes was already superseded by a
+//     committed transaction (first-committer-wins, incl. earlier txs of the
+//     current block) — §3.3.3;
+//   - uniqueness: rec's inserts collide with committed versions visible at
+//     the current block (covers concurrent inserts committed earlier in
+//     this block or in blocks above the snapshot).
+//
+// It returns nil when the transaction may commit.
+func (s *Store) Validate(rec *TxRecord, current int64) error {
+	// ww conflicts.
+	for _, ir := range rec.DeletedOld {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		v := t.heap[ir.Ref]
+		var bad bool
+		if v != nil && v.Xmax != 0 && v.Xmax != rec.ID {
+			if st := s.txStatus(v.Xmax); st.kind == txCommitted {
+				bad = true
+			}
+		}
+		t.mu.RUnlock()
+		if bad {
+			return &ValidationError{Kind: "ww-conflict", Table: ir.Table,
+				Detail: fmt.Sprintf("version %d already superseded", ir.Ref)}
+		}
+	}
+
+	// Stale reads: deleter committed in (snapshot, current).
+	for ir := range rec.ReadRows {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		v := t.heap[ir.Ref]
+		var bad bool
+		if v != nil && v.Xmax != 0 && v.Xmax != rec.ID {
+			if st := s.txStatus(v.Xmax); st.kind == txCommitted &&
+				st.block > rec.SnapshotHeight && st.block < current {
+				bad = true
+			}
+		}
+		t.mu.RUnlock()
+		if bad {
+			return &ValidationError{Kind: "stale-read", Table: ir.Table,
+				Detail: fmt.Sprintf("version %d superseded after snapshot %d", ir.Ref, rec.SnapshotHeight)}
+		}
+	}
+
+	// Phantoms: creator committed in (snapshot, current), still live.
+	for _, rr := range rec.ReadRanges {
+		t, err := s.Table(rr.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		ix, ok := t.indexes[rr.Index]
+		var bad bool
+		if ok {
+			ix.tree.Scan(rr.Range, func(_ types.Key, refs []uint64) bool {
+				for _, ref := range refs {
+					v := t.heap[ref]
+					if v == nil || v.aborted || v.Xmin == rec.ID {
+						continue
+					}
+					cst := s.txStatus(v.Xmin)
+					if cst.kind != txCommitted ||
+						cst.block <= rec.SnapshotHeight || cst.block >= current {
+						continue
+					}
+					// Created after our snapshot, before this block.
+					// Paper rule 1: abort provided the deleter is empty.
+					if v.Xmax != 0 {
+						if dst := s.txStatus(v.Xmax); dst.kind == txCommitted && dst.block < current {
+							continue // deleted again before this block
+						}
+					}
+					bad = true
+					return false
+				}
+				return true
+			})
+		}
+		t.mu.RUnlock()
+		if bad {
+			return &ValidationError{Kind: "phantom", Table: rr.Table,
+				Detail: fmt.Sprintf("new row in scanned range of %s", rr.Index)}
+		}
+	}
+
+	// Uniqueness against committed state as of `current`. Versions this
+	// transaction itself supersedes are about to die and do not conflict.
+	superseded := make(map[ItemRef]bool, len(rec.DeletedOld))
+	for _, ir := range rec.DeletedOld {
+		superseded[ir] = true
+	}
+	for _, ir := range rec.Inserted {
+		t, err := s.Table(ir.Table)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		mine := t.heap[ir.Ref]
+		var bad string
+		if mine != nil && mine.Xmax != rec.ID {
+			for _, ix := range t.indexes {
+				if !ix.Unique {
+					continue
+				}
+				key := ix.KeyFor(mine.Data)
+				for _, ref := range ix.tree.Get(key) {
+					if ref == ir.Ref || superseded[ItemRef{ir.Table, ref}] {
+						continue
+					}
+					v := t.heap[ref]
+					if v == nil || v.aborted {
+						continue
+					}
+					cst := s.txStatus(v.Xmin)
+					if cst.kind != txCommitted {
+						continue
+					}
+					// Committed and not superseded by a committed delete.
+					live := true
+					if v.Xmax != 0 {
+						if dst := s.txStatus(v.Xmax); dst.kind == txCommitted {
+							live = false
+						}
+					}
+					if live {
+						bad = fmt.Sprintf("%s key %s", ix.Name, key)
+					}
+				}
+			}
+		}
+		t.mu.RUnlock()
+		if bad != "" {
+			return &ValidationError{Kind: "unique", Table: ir.Table, Detail: bad}
+		}
+	}
+	return nil
+}
+
+// --- state hashing -----------------------------------------------------------------
+
+// StateHash returns a deterministic digest of the user-visible database
+// state as of the given block height: for every table (sorted by name),
+// every version visible at that height in primary-key order, hashing row
+// data and the creator block stamp. Node-local xids are excluded so all
+// honest replicas agree (§3.3.4 checkpointing, security property 5).
+func (s *Store) StateHash(height int64) [32]byte {
+	h := sha256.New()
+	for _, name := range s.TableNames() {
+		t, err := s.Table(name)
+		if err != nil || t.schema.HashExempt || t.schema.Class == ClassPrivate {
+			// Private tables legitimately differ per node (§3.7);
+			// sys_ledger carries node-local xids (§4.2).
+			continue
+		}
+		buf := codec.NewBuf(256)
+		buf.String(name)
+		h.Write(buf.Bytes())
+		t.mu.RLock()
+		t.primary.tree.Scan(index.AllRange(), func(_ types.Key, refs []uint64) bool {
+			for _, ref := range refs {
+				v := t.heap[ref]
+				if v == nil || v.aborted {
+					continue
+				}
+				if !s.visibleAt(v, 0, height) {
+					continue
+				}
+				b := codec.NewBuf(128)
+				b.Row(v.Data)
+				b.Varint(v.CreatorBlk)
+				h.Write(b.Bytes())
+			}
+			return true
+		})
+		t.mu.RUnlock()
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SetHashExempt excludes a table from StateHash (see Schema.HashExempt).
+func (s *Store) SetHashExempt(table string) {
+	s.mu.RLock()
+	t, ok := s.tables[table]
+	s.mu.RUnlock()
+	if ok {
+		t.mu.Lock()
+		t.schema.HashExempt = true
+		t.mu.Unlock()
+	}
+}
+
+// IndexKeys returns, for the version with the given heap ref, its key in
+// every index of the table (by index name). Used to build the SSI
+// analysis inputs (predicate rw-dependencies).
+func (s *Store) IndexKeys(table string, ref uint64) map[string]types.Key {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v := t.heap[ref]
+	if v == nil {
+		return nil
+	}
+	out := make(map[string]types.Key, len(t.indexes))
+	for name, ix := range t.indexes {
+		out[name] = ix.KeyFor(v.Data)
+	}
+	return out
+}
+
+// Vacuum implements the §7 pruning extension: it permanently removes
+// superseded row versions whose deleting transaction committed at or
+// below the horizon block, reclaiming memory at the cost of provenance
+// older than the horizon. Live versions (no committed deleter) are never
+// touched. It returns the number of versions removed.
+//
+// Vacuum must not run concurrently with block processing of blocks at or
+// below the horizon; callers pass a horizon safely below the committed
+// height.
+func (s *Store) Vacuum(horizon int64) int {
+	removed := 0
+	for _, name := range s.TableNames() {
+		t, err := s.Table(name)
+		if err != nil {
+			continue
+		}
+		t.mu.Lock()
+		var dead []*RowVersion
+		for _, v := range t.heap {
+			if v.Xmax == 0 {
+				continue
+			}
+			st := s.txStatus(v.Xmax)
+			if st.kind == txCommitted && st.block <= horizon {
+				dead = append(dead, v)
+			}
+		}
+		for _, v := range dead {
+			s.dropVersionLocked(t, v)
+			removed++
+		}
+		t.mu.Unlock()
+	}
+	return removed
+}
+
+// CountVersions returns the total number of stored versions (live and
+// superseded) in a table — vacuum accounting.
+func (s *Store) CountVersions(table string) (int, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.heap), nil
+}
+
+// CountVisible returns the number of rows visible at the given height.
+func (s *Store) CountVisible(table string, height int64) (int, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.primary.tree.Scan(index.AllRange(), func(_ types.Key, refs []uint64) bool {
+		for _, ref := range refs {
+			if v := t.heap[ref]; v != nil && s.visibleAt(v, 0, height) {
+				n++
+			}
+		}
+		return true
+	})
+	return n, nil
+}

@@ -1,0 +1,178 @@
+// Package wal is the node's redo log of block outcomes — the stand-in
+// for PostgreSQL's transaction log in the recovery protocol of §3.6. One
+// frame is appended atomically per processed block, carrying every
+// transaction's commit/abort status and the block's write-set hash.
+//
+// A restarting node replays its block store to rebuild state (execution
+// is deterministic), then cross-checks the replayed statuses against the
+// WAL: a mismatch means the block store or the log was tampered with. A
+// torn final frame (crash mid-append, §3.6 case b) is detected by CRC and
+// discarded; the block is simply re-processed.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"bcrdb/internal/codec"
+)
+
+// TxOutcome is one transaction's fate inside a block.
+type TxOutcome struct {
+	ID        string
+	Committed bool
+	Reason    string // abort reason, empty when committed
+}
+
+// BlockRecord is one WAL frame: the outcome of processing one block.
+type BlockRecord struct {
+	Block     uint64
+	Outcomes  []TxOutcome
+	WriteHash [32]byte
+}
+
+func (r *BlockRecord) encode() []byte {
+	e := codec.NewBuf(256)
+	e.Uvarint(r.Block)
+	e.Uvarint(uint64(len(r.Outcomes)))
+	for _, o := range r.Outcomes {
+		e.String(o.ID)
+		e.Bool(o.Committed)
+		e.String(o.Reason)
+	}
+	e.Bytes2(r.WriteHash[:])
+	return e.Bytes()
+}
+
+func decodeRecord(data []byte) (*BlockRecord, error) {
+	d := codec.NewDec(data)
+	r := &BlockRecord{}
+	r.Block = d.Uvarint()
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		r.Outcomes = append(r.Outcomes, TxOutcome{
+			ID:        d.String(),
+			Committed: d.Bool(),
+			Reason:    d.String(),
+		})
+	}
+	h := d.Bytes2()
+	if len(h) == 32 {
+		copy(r.WriteHash[:], h)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Log is an append-only WAL. Safe for use by one writer goroutine.
+type Log struct {
+	f    *os.File
+	path string
+}
+
+// ErrCorrupt reports an unreadable (non-tail) frame.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Open opens (creating if needed) a WAL at path and positions for append.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Append writes one frame: [len u32][crc u32][payload].
+func (l *Log) Append(r *BlockRecord) error {
+	payload := r.encode()
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync flushes to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close closes the log.
+func (l *Log) Close() error { return l.f.Close() }
+
+// ReadAll loads every intact frame from path; a torn or corrupt tail is
+// truncated away (crash recovery), while corruption in the middle is an
+// error.
+func ReadAll(path string) ([]*BlockRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []*BlockRecord
+	var goodOff int64
+	for {
+		var hdr [8]byte
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return out, truncate(path, goodOff)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out, truncate(path, goodOff)
+			}
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			// Torn tail if nothing follows; otherwise corruption.
+			if pos, _ := f.Seek(0, io.SeekCurrent); isEOFAt(f, pos) {
+				return out, truncate(path, goodOff)
+			}
+			return nil, fmt.Errorf("%w: at offset %d", ErrCorrupt, goodOff)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			if pos, _ := f.Seek(0, io.SeekCurrent); isEOFAt(f, pos) {
+				return out, truncate(path, goodOff)
+			}
+			return nil, err
+		}
+		out = append(out, rec)
+		goodOff += int64(8 + len(payload))
+	}
+}
+
+func isEOFAt(f *os.File, pos int64) bool {
+	fi, err := f.Stat()
+	return err == nil && pos >= fi.Size()
+}
+
+func truncate(path string, off int64) error {
+	return os.Truncate(path, off)
+}

@@ -1,0 +1,238 @@
+// Package workload implements the benchmark harness for the paper's
+// evaluation (§5): the three smart contracts (simple, complex-join,
+// complex-group), open- and closed-loop load generation, latency
+// tracking, micro-metric windows, and the ordering-service scaling
+// benchmark of Figure 8(b).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bcrdb"
+)
+
+// Contract selects one of the §5 evaluation workloads.
+type Contract uint8
+
+// Workload contracts.
+const (
+	// Simple inserts one row per transaction ("simple contract").
+	Simple Contract = iota
+	// ComplexJoin joins two tables, aggregates, and writes the result to
+	// a third table ("complex-join contract").
+	ComplexJoin
+	// ComplexGroup aggregates over subgroups, orders by the aggregate
+	// with LIMIT, and records the winner ("complex-group contract").
+	ComplexGroup
+	// Hotspot is the rw/ww-dependency study the paper defers to future
+	// work (§7): read-modify-write transfers over a small, contended
+	// account set, exposing the SSI abort behavior of both flows.
+	Hotspot
+)
+
+// hotspotAccounts is the contended working set of the Hotspot workload.
+const hotspotAccounts = 16
+
+// String names the contract like the paper does.
+func (c Contract) String() string {
+	switch c {
+	case Simple:
+		return "simple"
+	case ComplexJoin:
+		return "complex-join"
+	case ComplexGroup:
+		return "complex-group"
+	case Hotspot:
+		return "hotspot"
+	}
+	return "?"
+}
+
+// Regions/groups in the seeded analytic tables.
+const (
+	numRegions       = 50
+	ordersPerRegion  = 10
+	itemsPerOrder    = 5
+	numGroups        = 50
+	subsPerGroup     = 10
+	rowsPerSubgroup  = 10
+	seedRandomSource = 20190131
+)
+
+// Genesis builds the schema, seed data and contract for a workload.
+func Genesis(c Contract) bcrdb.Genesis {
+	switch c {
+	case Simple:
+		return bcrdb.Genesis{
+			SQL: []string{
+				`CREATE TABLE kv (id BIGINT PRIMARY KEY, k TEXT, v TEXT)`,
+			},
+			Contracts: []string{`
+CREATE FUNCTION simple_insert(p_id BIGINT, p_k TEXT, p_v TEXT) RETURNS VOID AS $$
+BEGIN
+	INSERT INTO kv VALUES (p_id, p_k, p_v);
+END;
+$$ LANGUAGE plpgsql;`},
+		}
+
+	case ComplexJoin:
+		sql := []string{
+			`CREATE TABLE orders (id BIGINT PRIMARY KEY, region BIGINT NOT NULL, customer BIGINT, status TEXT)`,
+			`CREATE INDEX orders_region ON orders (region)`,
+			`CREATE TABLE order_items (id BIGINT PRIMARY KEY, order_id BIGINT NOT NULL, qty BIGINT, price DOUBLE)`,
+			`CREATE INDEX order_items_order ON order_items (order_id)`,
+			`CREATE TABLE region_totals (id BIGINT PRIMARY KEY, region BIGINT, total DOUBLE, cnt BIGINT)`,
+		}
+		sql = append(sql, seedOrders()...)
+		return bcrdb.Genesis{
+			SQL: sql,
+			Contracts: []string{`
+CREATE FUNCTION complex_join(p_region BIGINT, p_out BIGINT) RETURNS VOID AS $$
+DECLARE
+	v_total DOUBLE;
+	v_cnt BIGINT;
+BEGIN
+	SELECT SUM(oi.qty * oi.price), COUNT(*) INTO v_total, v_cnt
+	FROM orders o JOIN order_items oi ON oi.order_id = o.id
+	WHERE o.region = p_region;
+	INSERT INTO region_totals VALUES (p_out, p_region, COALESCE(v_total, 0.0), v_cnt);
+END;
+$$ LANGUAGE plpgsql;`},
+		}
+
+	case Hotspot:
+		rows := make([]string, hotspotAccounts)
+		for i := range rows {
+			rows[i] = fmt.Sprintf("(%d, 1000.0)", i)
+		}
+		return bcrdb.Genesis{
+			SQL: []string{
+				`CREATE TABLE hot_accounts (id BIGINT PRIMARY KEY, balance DOUBLE NOT NULL)`,
+				"INSERT INTO hot_accounts VALUES " + strings.Join(rows, ", "),
+			},
+			Contracts: []string{`
+CREATE FUNCTION hot_transfer(p_from BIGINT, p_to BIGINT, p_amt DOUBLE) RETURNS VOID AS $$
+DECLARE
+	bal DOUBLE;
+BEGIN
+	SELECT balance INTO bal FROM hot_accounts WHERE id = p_from;
+	IF bal < p_amt THEN
+		RAISE EXCEPTION 'insufficient';
+	END IF;
+	UPDATE hot_accounts SET balance = balance - p_amt WHERE id = p_from;
+	UPDATE hot_accounts SET balance = balance + p_amt WHERE id = p_to;
+END;
+$$ LANGUAGE plpgsql;`},
+		}
+
+	case ComplexGroup:
+		sql := []string{
+			`CREATE TABLE sales (id BIGINT PRIMARY KEY, grp BIGINT NOT NULL, sub BIGINT, amt DOUBLE)`,
+			`CREATE INDEX sales_grp ON sales (grp)`,
+			`CREATE TABLE winners (id BIGINT PRIMARY KEY, grp BIGINT, sub BIGINT, total DOUBLE)`,
+		}
+		sql = append(sql, seedSales()...)
+		return bcrdb.Genesis{
+			SQL: sql,
+			Contracts: []string{`
+CREATE FUNCTION complex_group(p_grp BIGINT, p_out BIGINT) RETURNS VOID AS $$
+DECLARE
+	w_sub BIGINT;
+	w_total DOUBLE;
+BEGIN
+	SELECT sub, SUM(amt) INTO w_sub, w_total
+	FROM sales WHERE grp = p_grp
+	GROUP BY sub
+	ORDER BY SUM(amt) DESC, sub ASC
+	LIMIT 1;
+	INSERT INTO winners VALUES (p_out, p_grp, w_sub, COALESCE(w_total, 0.0));
+END;
+$$ LANGUAGE plpgsql;`},
+		}
+	}
+	panic("workload: unknown contract")
+}
+
+// seedOrders builds deterministic seed rows for the join workload.
+func seedOrders() []string {
+	rng := rand.New(rand.NewSource(seedRandomSource))
+	var orders, items []string
+	itemID := 0
+	for r := 0; r < numRegions; r++ {
+		for o := 0; o < ordersPerRegion; o++ {
+			oid := r*ordersPerRegion + o
+			orders = append(orders, fmt.Sprintf("(%d, %d, %d, 'open')", oid, r, rng.Intn(1000)))
+			for k := 0; k < itemsPerOrder; k++ {
+				items = append(items, fmt.Sprintf("(%d, %d, %d, %.2f)",
+					itemID, oid, rng.Intn(9)+1, float64(rng.Intn(10000))/100))
+				itemID++
+			}
+		}
+	}
+	return []string{
+		"INSERT INTO orders VALUES " + strings.Join(orders, ", "),
+		"INSERT INTO order_items VALUES " + strings.Join(items, ", "),
+	}
+}
+
+// seedSales builds deterministic seed rows for the grouping workload.
+func seedSales() []string {
+	rng := rand.New(rand.NewSource(seedRandomSource + 1))
+	var rows []string
+	id := 0
+	for g := 0; g < numGroups; g++ {
+		for s := 0; s < subsPerGroup; s++ {
+			for r := 0; r < rowsPerSubgroup; r++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, %d, %.2f)",
+					id, g, s, float64(rng.Intn(100000))/100))
+				id++
+			}
+		}
+	}
+	// Split into chunks to keep single statements reasonable.
+	var out []string
+	for start := 0; start < len(rows); start += 1000 {
+		end := start + 1000
+		if end > len(rows) {
+			end = len(rows)
+		}
+		out = append(out, "INSERT INTO sales VALUES "+strings.Join(rows[start:end], ", "))
+	}
+	return out
+}
+
+// Invocation returns the contract name and arguments for the seq-th
+// transaction. Ids derive from seq, so every invocation is unique.
+func Invocation(c Contract, seq int64) (string, []bcrdb.Value) {
+	switch c {
+	case Simple:
+		return "simple_insert", []bcrdb.Value{
+			bcrdb.Int(1_000_000 + seq),
+			bcrdb.Text(fmt.Sprintf("key-%d", seq)),
+			bcrdb.Text(fmt.Sprintf("val-%d", seq)),
+		}
+	case ComplexJoin:
+		return "complex_join", []bcrdb.Value{
+			bcrdb.Int(seq % numRegions),
+			bcrdb.Int(1_000_000 + seq),
+		}
+	case ComplexGroup:
+		return "complex_group", []bcrdb.Value{
+			bcrdb.Int(seq % numGroups),
+			bcrdb.Int(1_000_000 + seq),
+		}
+	case Hotspot:
+		// Pseudo-random but deterministic (from seq) pair of distinct
+		// accounts plus a unique fractional amount so transaction ids
+		// never collide.
+		from := (seq * 7) % hotspotAccounts
+		to := (from + 1 + (seq*13)%(hotspotAccounts-1)) % hotspotAccounts
+		amt := float64(seq%5+1) + float64(seq%997)/100000
+		return "hot_transfer", []bcrdb.Value{
+			bcrdb.Int(from), bcrdb.Int(to), bcrdb.Float(amt),
+		}
+	}
+	panic("workload: unknown contract")
+}

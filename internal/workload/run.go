@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcrdb"
+)
+
+// RunConfig parameterizes one experiment run (§5: block size, arrival
+// rate, contract complexity, deployment model, flow, network size).
+type RunConfig struct {
+	Contract Contract
+	Flow     bcrdb.Flow
+	Serial   bool // Ethereum-style serial block execution (§5.1)
+
+	Orgs          int // organizations = database nodes (default 3)
+	UsersPerOrg   int // client identities per org (default 2)
+	ExtraOrderers int
+
+	Ordering     bcrdb.OrderingKind
+	Profile      bcrdb.NetProfile
+	BlockSize    int
+	BlockTimeout time.Duration
+
+	// ArrivalRate > 0 drives an open-loop Poisson-like arrival process
+	// at that many tx/s. ArrivalRate == 0 saturates the system with a
+	// closed loop of MaxInFlight outstanding transactions (peak
+	// throughput measurement).
+	ArrivalRate float64
+	MaxInFlight int // closed loop concurrency (default 512)
+
+	Warmup   time.Duration // excluded from measurement (default 20% of Duration)
+	Duration time.Duration // measurement window (default 2s)
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Orgs == 0 {
+		c.Orgs = 3
+	}
+	if c.UsersPerOrg == 0 {
+		c.UsersPerOrg = 2
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 100
+	}
+	if c.BlockTimeout == 0 {
+		c.BlockTimeout = 100 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 5
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 512
+	}
+	return c
+}
+
+// Result is the outcome of one run: the paper's headline metrics plus
+// the micro metrics of Tables 4 and 5.
+type Result struct {
+	Config RunConfig
+
+	Throughput   float64 // committed tx/s in the measurement window
+	AvgLatencyMs float64 // submit → commit, committed txs only
+	P95LatencyMs float64
+
+	Submitted int64
+	Committed int64
+	Aborted   int64
+
+	// Micro metrics (node 0, measurement window).
+	BRR, BPR, BPT, BET, BCT, TET, MT, SU float64
+}
+
+// String renders one result row.
+func (r Result) String() string {
+	return fmt.Sprintf("tput=%7.1f tps  lat(avg)=%7.2fms  lat(p95)=%7.2fms  su=%5.1f%%  aborts=%d",
+		r.Throughput, r.AvgLatencyMs, r.P95LatencyMs, r.SU, r.Aborted)
+}
+
+// Run executes one experiment: build a fresh network, generate load,
+// measure a steady-state window, tear down.
+func Run(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	var orgs []bcrdb.Org
+	var users []string
+	for i := 0; i < cfg.Orgs; i++ {
+		org := bcrdb.Org{Name: fmt.Sprintf("org%d", i+1)}
+		for u := 0; u < cfg.UsersPerOrg; u++ {
+			name := fmt.Sprintf("user%d_%d", i+1, u)
+			org.Users = append(org.Users, name)
+			users = append(users, name)
+		}
+		orgs = append(orgs, org)
+	}
+
+	nw, err := bcrdb.NewNetwork(bcrdb.Options{
+		Orgs:            orgs,
+		Flow:            cfg.Flow,
+		SerialExecution: cfg.Serial,
+		Ordering:        cfg.Ordering,
+		ExtraOrderers:   cfg.ExtraOrderers,
+		BlockSize:       cfg.BlockSize,
+		BlockTimeout:    cfg.BlockTimeout,
+		Profile:         cfg.Profile,
+		Genesis:         Genesis(cfg.Contract),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer nw.Close()
+
+	node0 := nw.Node(0)
+	results := node0.SubscribeAll()
+
+	// Latency collector.
+	type stamp struct {
+		submitted time.Time
+	}
+	var (
+		mu         sync.Mutex
+		stamps     = make(map[string]stamp)
+		latencies  []time.Duration
+		measuring  atomic.Bool
+		inFlight   = make(chan struct{}, cfg.MaxInFlight)
+		done       = make(chan struct{})
+		collectorW sync.WaitGroup
+	)
+	collectorW.Add(1)
+	go func() {
+		defer collectorW.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case r := <-results:
+				select {
+				case <-inFlight:
+				default:
+				}
+				if !r.Committed {
+					continue
+				}
+				mu.Lock()
+				if s, ok := stamps[r.ID]; ok {
+					delete(stamps, r.ID)
+					if measuring.Load() {
+						latencies = append(latencies, time.Since(s.submitted))
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	// Load generator.
+	var seq atomic.Int64
+	stopGen := make(chan struct{})
+	var genW sync.WaitGroup
+	submitOne := func(userIdx int) {
+		s := seq.Add(1)
+		name, args := Invocation(cfg.Contract, s)
+		user := users[int(s)%len(users)]
+		_ = userIdx
+		id, err := nw.SubmitRaw(user, name, args)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		stamps[id] = stamp{submitted: time.Now()}
+		mu.Unlock()
+	}
+
+	genWorkers := len(users)
+	if cfg.ArrivalRate > 0 {
+		// Open loop: each worker submits at rate/genWorkers.
+		per := cfg.ArrivalRate / float64(genWorkers)
+		interval := time.Duration(float64(time.Second) / per)
+		for w := 0; w < genWorkers; w++ {
+			genW.Add(1)
+			go func(w int) {
+				defer genW.Done()
+				next := time.Now()
+				for {
+					select {
+					case <-stopGen:
+						return
+					default:
+					}
+					now := time.Now()
+					if now.Before(next) {
+						time.Sleep(next.Sub(now))
+					}
+					next = next.Add(interval)
+					submitOne(w)
+				}
+			}(w)
+		}
+	} else {
+		// Closed loop: bounded in-flight saturation.
+		for w := 0; w < genWorkers; w++ {
+			genW.Add(1)
+			go func(w int) {
+				defer genW.Done()
+				for {
+					select {
+					case <-stopGen:
+						return
+					case inFlight <- struct{}{}:
+						submitOne(w)
+					case <-time.After(200 * time.Millisecond):
+						// Semaphore leak guard: a dropped tx should not
+						// stall the generator forever.
+						submitOne(w)
+					}
+				}
+			}(w)
+		}
+	}
+
+	// Warmup, then measure.
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	before := node0.Metrics().Snapshot()
+	time.Sleep(cfg.Duration)
+	after := node0.Metrics().Snapshot()
+	measuring.Store(false)
+	close(stopGen)
+	genW.Wait()
+	close(done)
+	collectorW.Wait()
+
+	w := after.Sub(before)
+	res := Result{
+		Config:     cfg,
+		Throughput: w.Throughput(),
+		Submitted:  seq.Load(),
+		Committed:  w.Diff.TxCommitted,
+		Aborted:    w.Diff.TxAborted,
+		BRR:        w.BRR(),
+		BPR:        w.BPR(),
+		BPT:        w.BPT(),
+		BET:        w.BET(),
+		BCT:        w.BCT(),
+		TET:        w.TET(),
+		MT:         w.MT(),
+		SU:         w.SU(),
+	}
+	mu.Lock()
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.AvgLatencyMs = float64(sum) / float64(len(latencies)) / 1e6
+		res.P95LatencyMs = float64(latencies[len(latencies)*95/100]) / 1e6
+	}
+	mu.Unlock()
+	return res, nil
+}
+
+// Peak measures saturation throughput for a configuration (closed loop).
+func Peak(cfg RunConfig) (Result, error) {
+	cfg.ArrivalRate = 0
+	return Run(cfg)
+}
+
+// VerifyConsistencyAfter runs a short saturation burst and checks that
+// every replica converged to the same state — used by integration tests.
+func VerifyConsistencyAfter(cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	res, err := Run(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Committed == 0 {
+		return fmt.Errorf("workload: nothing committed (aborted=%d submitted=%d)", res.Aborted, res.Submitted)
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package bcrdb
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bcrdb/internal/core"
+	"bcrdb/internal/identity"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/ordering/bft"
+	"bcrdb/internal/ordering/kafka"
+	"bcrdb/internal/simnet"
+)
+
+// OrderingKind selects the consensus implementation (§4.4).
+type OrderingKind uint8
+
+// Ordering services.
+const (
+	// OrderingKafka is the crash-fault-tolerant service built on a
+	// totally ordered topic.
+	OrderingKafka OrderingKind = iota
+	// OrderingBFT is the byzantine-fault-tolerant PBFT service
+	// (requires at least 4 orderer nodes).
+	OrderingBFT
+)
+
+// NetProfile selects the deployment model of §5.
+type NetProfile uint8
+
+// Network profiles.
+const (
+	// ProfileLAN models all organizations in one datacenter.
+	ProfileLAN NetProfile = iota
+	// ProfileWAN models the multi-cloud deployment: organizations in
+	// different datacenters with high inter-org latency and constrained
+	// bandwidth.
+	ProfileWAN
+)
+
+// Org describes one participating organization: it runs one database
+// node, one orderer node, one admin (named "admin@<org>") and the listed
+// client users.
+type Org struct {
+	Name  string
+	Users []string
+}
+
+// Genesis is the identical initial state of every node (§3.7).
+type Genesis struct {
+	// SQL statements (DDL and seed data) applied at block 0.
+	SQL []string
+	// Contracts deployed at block 0 (CREATE FUNCTION sources). Later
+	// changes go through the create/approve/submit deployment workflow.
+	Contracts []string
+}
+
+// Options configures a network.
+type Options struct {
+	Orgs []Org
+	Flow Flow
+	// SerialExecution switches the block processor to one-transaction-
+	// at-a-time execution (the Ethereum-style baseline of §5.1).
+	SerialExecution bool
+
+	Ordering OrderingKind
+	// ExtraOrderers adds orderer nodes beyond one per org (used to scale
+	// the ordering service, Fig 8(b); BFT needs ≥ 4 total).
+	ExtraOrderers int
+	BlockSize     int
+	BlockTimeout  time.Duration
+
+	Profile NetProfile
+	// DataDir, when set, persists each node's block store and WAL under
+	// DataDir/<node>, enabling crash recovery.
+	DataDir string
+	// CheckpointEvery emits write-set checkpoints every N blocks
+	// (default 1).
+	CheckpointEvery uint64
+
+	Genesis Genesis
+}
+
+// Network is a running blockchain database network.
+type Network struct {
+	opts  Options
+	net   *simnet.Network
+	topic *kafka.Topic
+
+	kafkaOrds []*kafka.Orderer
+	bftOrds   []*bft.Orderer
+	nodes     []*core.Node
+
+	signers  map[string]*identity.Signer // clients and admins
+	orderers []string                    // orderer endpoint names
+
+	clientMu sync.Mutex
+	clients  map[string]*Client
+}
+
+// NewNetwork bootstraps and starts a network.
+func NewNetwork(opts Options) (*Network, error) {
+	if len(opts.Orgs) == 0 {
+		return nil, errors.New("bcrdb: at least one organization required")
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 100
+	}
+	if opts.BlockTimeout == 0 {
+		opts.BlockTimeout = 100 * time.Millisecond
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 1
+	}
+
+	nOrderers := len(opts.Orgs) + opts.ExtraOrderers
+	if opts.Ordering == OrderingBFT && nOrderers < 4 {
+		nOrderers = 4
+	}
+
+	nw := &Network{
+		opts:    opts,
+		signers: make(map[string]*identity.Signer),
+		clients: make(map[string]*Client),
+	}
+
+	// Simulated fabric: LAN, or WAN between different orgs' nodes.
+	nw.net = simnet.New(simnet.LAN())
+	if opts.Profile == ProfileWAN {
+		lan, wan := simnet.LAN(), simnet.WAN()
+		orgOf := make(map[string]string)
+		for i, org := range opts.Orgs {
+			orgOf["db."+org.Name] = org.Name
+			_ = i
+		}
+		for i := 0; i < nOrderers; i++ {
+			orgOf[ordererName(i)] = opts.Orgs[i%len(opts.Orgs)].Name
+		}
+		nw.net.SetProfileFn(func(from, to string) simnet.Profile {
+			if from == to {
+				return simnet.Loopback()
+			}
+			if orgOf[from] != "" && orgOf[from] == orgOf[to] {
+				return lan
+			}
+			return wan
+		})
+	}
+
+	// Identities.
+	netReg := identity.NewRegistry()
+	var certs []core.CertEntry
+	for _, org := range opts.Orgs {
+		admin := "admin@" + org.Name
+		s, err := identity.NewSigner(admin, org.Name, identity.RoleAdmin, nil)
+		if err != nil {
+			return nil, err
+		}
+		nw.signers[admin] = s
+		certs = append(certs, core.CertEntry{Name: admin, Org: org.Name, Role: "admin", PubKey: s.PubKey})
+		for _, u := range org.Users {
+			us, err := identity.NewSigner(u, org.Name, identity.RoleClient, nil)
+			if err != nil {
+				return nil, err
+			}
+			nw.signers[u] = us
+			certs = append(certs, core.CertEntry{Name: u, Org: org.Name, Role: "client", PubKey: us.PubKey})
+		}
+	}
+
+	var peerNames []string
+	var peerSigners []*identity.Signer
+	for _, org := range opts.Orgs {
+		name := "db." + org.Name
+		s, err := identity.NewSigner(name, org.Name, identity.RolePeer, nil)
+		if err != nil {
+			return nil, err
+		}
+		peerNames = append(peerNames, name)
+		peerSigners = append(peerSigners, s)
+		if err := netReg.Register(s.Public()); err != nil {
+			return nil, err
+		}
+	}
+	var ordSigners []*identity.Signer
+	for i := 0; i < nOrderers; i++ {
+		org := opts.Orgs[i%len(opts.Orgs)].Name
+		s, err := identity.NewSigner(ordererName(i), org, identity.RoleOrderer, nil)
+		if err != nil {
+			return nil, err
+		}
+		ordSigners = append(ordSigners, s)
+		nw.orderers = append(nw.orderers, s.Name)
+		if err := netReg.Register(s.Public()); err != nil {
+			return nil, err
+		}
+	}
+
+	genesis := core.Genesis{Certs: certs, SQL: opts.Genesis.SQL, Contracts: opts.Genesis.Contracts}
+
+	// Database nodes.
+	for i, org := range opts.Orgs {
+		cfg := core.Config{
+			Name:            peerNames[i],
+			Org:             org.Name,
+			Flow:            opts.Flow,
+			SerialExecution: opts.SerialExecution,
+			Orderers:        []string{nw.orderers[i%len(nw.orderers)]},
+			Peers:           peerNames,
+			CheckpointEvery: opts.CheckpointEvery,
+		}
+		if opts.DataDir != "" {
+			cfg.DataDir = filepath.Join(opts.DataDir, org.Name)
+		}
+		node, err := core.NewNode(cfg, peerSigners[i], netReg.Clone(), nw.net)
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		if node.BlockStore().Height() == 0 {
+			if err := node.Bootstrap(genesis); err != nil {
+				nw.Close()
+				return nil, err
+			}
+		} else if err := node.Bootstrap(genesis); err != nil {
+			nw.Close()
+			return nil, err
+		}
+		if err := node.Start(); err != nil {
+			nw.Close()
+			return nil, err
+		}
+		nw.nodes = append(nw.nodes, node)
+	}
+
+	// Ordering service.
+	cfg := ordering.Config{BlockSize: opts.BlockSize, BlockTimeout: opts.BlockTimeout}
+	switch opts.Ordering {
+	case OrderingKafka:
+		nw.topic = kafka.NewTopic(nil)
+		for i := 0; i < nOrderers; i++ {
+			peers := deliveryPeers(peerNames, i, nOrderers)
+			o, err := kafka.NewOrderer(nw.orderers[i], ordSigners[i], nw.topic, nw.net, peers, cfg)
+			if err != nil {
+				nw.Close()
+				return nil, err
+			}
+			nw.kafkaOrds = append(nw.kafkaOrds, o)
+		}
+	case OrderingBFT:
+		for i := 0; i < nOrderers; i++ {
+			peers := deliveryPeers(peerNames, i, nOrderers)
+			o, err := bft.New(i, nw.orderers, ordSigners[i], netReg, nw.net, peers, cfg)
+			if err != nil {
+				nw.Close()
+				return nil, err
+			}
+			nw.bftOrds = append(nw.bftOrds, o)
+		}
+	default:
+		nw.Close()
+		return nil, fmt.Errorf("bcrdb: unknown ordering kind %d", opts.Ordering)
+	}
+	return nw, nil
+}
+
+func ordererName(i int) string { return fmt.Sprintf("orderer%d", i) }
+
+// deliveryPeers assigns database peers to orderer i: peer j listens to
+// orderer j%nOrderers, so every peer has exactly one delivering orderer.
+func deliveryPeers(peerNames []string, i, nOrderers int) []string {
+	var out []string
+	for j, p := range peerNames {
+		if j%nOrderers == i {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Close stops every component.
+func (nw *Network) Close() {
+	for _, c := range nw.clients {
+		c.close()
+	}
+	for _, o := range nw.kafkaOrds {
+		o.Stop()
+	}
+	for _, o := range nw.bftOrds {
+		o.Stop()
+	}
+	for _, n := range nw.nodes {
+		n.Stop()
+	}
+	if nw.net != nil {
+		nw.net.Close()
+	}
+}
+
+// Nodes returns the database nodes (one per org, in Options order).
+func (nw *Network) Nodes() []*core.Node { return nw.nodes }
+
+// Node returns org i's database node.
+func (nw *Network) Node(i int) *core.Node { return nw.nodes[i] }
+
+// Orderers returns the orderer endpoint names.
+func (nw *Network) Orderers() []string { return append([]string(nil), nw.orderers...) }
+
+// Height returns the maximum committed height across nodes.
+func (nw *Network) Height() int64 {
+	var h int64
+	for _, n := range nw.nodes {
+		if nh := n.Height(); nh > h {
+			h = nh
+		}
+	}
+	return h
+}
+
+// WaitHeight blocks until every node committed block h (or the timeout
+// expires).
+func (nw *Network) WaitHeight(h int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, n := range nw.nodes {
+			if n.Height() < h {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("bcrdb: timeout waiting for height %d", h)
+}
+
+// VerifyConsistency compares all replicas' state hashes at the minimum
+// common height and returns an error naming the first divergent node.
+func (nw *Network) VerifyConsistency() error {
+	minH := nw.nodes[0].Height()
+	for _, n := range nw.nodes[1:] {
+		if h := n.Height(); h < minH {
+			minH = h
+		}
+	}
+	ref := nw.nodes[0].StateHash(minH)
+	for i, n := range nw.nodes[1:] {
+		if n.StateHash(minH) != ref {
+			return fmt.Errorf("bcrdb: node %s diverges from %s at height %d",
+				nw.nodes[i+1].Name(), nw.nodes[0].Name(), minH)
+		}
+	}
+	return nil
+}
+
+// DeployContract pushes a CREATE [OR REPLACE] FUNCTION (or DROP FUNCTION)
+// through the full §3.7 governance flow: proposed by the first org's
+// admin, approved by every org's admin, then submitted.
+func (nw *Network) DeployContract(src string) error {
+	admin0 := nw.Client("admin@" + nw.opts.Orgs[0].Name)
+	res, err := admin0.Invoke("create_deploytx", Text(src))
+	if err != nil {
+		return err
+	}
+	if !res.Committed {
+		return fmt.Errorf("bcrdb: create_deploytx aborted: %s", res.Reason)
+	}
+	// The id is deterministic: read it back.
+	row, err := admin0.Query(`SELECT MAX(id) FROM sys_deployments`)
+	if err != nil || len(row.Rows) == 0 || row.Rows[0][0].IsNull() {
+		return fmt.Errorf("bcrdb: cannot determine deployment id: %v", err)
+	}
+	id := row.Rows[0][0]
+	for _, org := range nw.opts.Orgs {
+		adm := nw.Client("admin@" + org.Name)
+		res, err := adm.Invoke("approve_deploytx", id)
+		if err != nil {
+			return err
+		}
+		if !res.Committed {
+			return fmt.Errorf("bcrdb: approve by %s aborted: %s", org.Name, res.Reason)
+		}
+	}
+	res, err = admin0.Invoke("submit_deploytx", id)
+	if err != nil {
+		return err
+	}
+	if !res.Committed {
+		return fmt.Errorf("bcrdb: submit_deploytx aborted: %s", res.Reason)
+	}
+	return nil
+}
+
+// SubmitRaw signs and submits a transaction for the given user without
+// waiting, returning the transaction id. Used by load generators.
+func (nw *Network) SubmitRaw(user, contract string, args []Value) (string, error) {
+	c := nw.Client(user)
+	return c.submit(contract, args)
+}

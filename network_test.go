@@ -1,0 +1,252 @@
+package bcrdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var demoGenesis = Genesis{
+	SQL: []string{
+		`CREATE TABLE accounts (id BIGINT PRIMARY KEY, owner TEXT, balance DOUBLE)`,
+		`INSERT INTO accounts VALUES (1, 'alice', 100.0), (2, 'bob', 50.0)`,
+	},
+	Contracts: []string{
+		`CREATE FUNCTION open_account(p_id BIGINT, p_owner TEXT, p_balance DOUBLE) RETURNS VOID AS $$
+		BEGIN
+			INSERT INTO accounts VALUES (p_id, p_owner, p_balance);
+		END;
+		$$`,
+		`CREATE FUNCTION transfer(p_from BIGINT, p_to BIGINT, p_amt DOUBLE) RETURNS VOID AS $$
+		DECLARE
+			bal DOUBLE;
+		BEGIN
+			SELECT balance INTO bal FROM accounts WHERE id = p_from;
+			IF bal IS NULL THEN
+				RAISE EXCEPTION 'no such account';
+			END IF;
+			IF bal < p_amt THEN
+				RAISE EXCEPTION 'insufficient funds';
+			END IF;
+			UPDATE accounts SET balance = balance - p_amt WHERE id = p_from;
+			UPDATE accounts SET balance = balance + p_amt WHERE id = p_to;
+		END;
+		$$`,
+	},
+}
+
+func demoOptions(flow Flow) Options {
+	return Options{
+		Orgs: []Org{
+			{Name: "org1", Users: []string{"alice"}},
+			{Name: "org2", Users: []string{"bob"}},
+			{Name: "org3", Users: []string{"carol"}},
+		},
+		Flow:         flow,
+		BlockSize:    10,
+		BlockTimeout: 20 * time.Millisecond,
+		Genesis:      demoGenesis,
+	}
+}
+
+func TestNetworkEndToEnd(t *testing.T) {
+	for _, flow := range []Flow{OrderThenExecute, ExecuteOrder} {
+		name := map[Flow]string{OrderThenExecute: "OrderThenExecute", ExecuteOrder: "ExecuteOrder"}[flow]
+		t.Run(name, func(t *testing.T) {
+			nw, err := NewNetwork(demoOptions(flow))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+
+			alice := nw.Client("alice")
+			res, err := alice.Invoke("transfer", Int(1), Int(2), Float(30))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Committed {
+				t.Fatalf("transfer aborted: %s", res.Reason)
+			}
+			if err := nw.WaitHeight(int64(res.Block), 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			rows, err := alice.QueryAll(`SELECT balance FROM accounts ORDER BY id`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows.Rows[0][0].Float() != 70 || rows.Rows[1][0].Float() != 80 {
+				t.Fatalf("balances = %v", rows.Rows)
+			}
+			if err := nw.VerifyConsistency(); err != nil {
+				t.Fatal(err)
+			}
+
+			// A failing invocation aborts with the contract's message.
+			res, err = alice.Invoke("transfer", Int(1), Int(2), Float(100000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed || !strings.Contains(res.Reason, "insufficient") {
+				t.Fatalf("result = %+v", res)
+			}
+		})
+	}
+}
+
+func TestNetworkBFTOrdering(t *testing.T) {
+	opts := demoOptions(OrderThenExecute)
+	opts.Ordering = OrderingBFT // 3 orgs → promoted to 4 orderers
+	nw, err := NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if len(nw.Orderers()) < 4 {
+		t.Fatalf("BFT orderers = %d", len(nw.Orderers()))
+	}
+	bob := nw.Client("bob")
+	res, err := bob.Invoke("open_account", Int(77), Text("bob2"), Float(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Reason)
+	}
+	if err := nw.WaitHeight(int64(res.Block), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeContractDeployment(t *testing.T) {
+	nw, err := NewNetwork(demoOptions(OrderThenExecute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	err = nw.DeployContract(`CREATE FUNCTION account_count() RETURNS BIGINT AS $$
+	DECLARE
+		n BIGINT;
+	BEGIN
+		SELECT COUNT(*) INTO n FROM accounts;
+		RETURN n;
+	END;
+	$$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol := nw.Client("carol")
+	res, err := carol.Invoke("account_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Reason)
+	}
+}
+
+func TestWANProfileNetwork(t *testing.T) {
+	opts := demoOptions(ExecuteOrder)
+	opts.Profile = ProfileWAN
+	nw, err := NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	alice := nw.Client("alice")
+	start := time.Now()
+	res, err := alice.Invoke("open_account", Int(500), Text("x"), Float(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Reason)
+	}
+	// WAN latency should be visible end-to-end (≥ two one-way hops of
+	// ~20ms each, scaled profile).
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("WAN commit suspiciously fast: %v", elapsed)
+	}
+	if err := nw.WaitHeight(int64(res.Block), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteOrderWithBFTOrdering(t *testing.T) {
+	opts := demoOptions(ExecuteOrder)
+	opts.Ordering = OrderingBFT
+	nw, err := NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	alice := nw.Client("alice")
+	for i := 0; i < 5; i++ {
+		res, err := alice.Invoke("open_account", Int(int64(900+i)), Text("x"), Float(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed {
+			t.Fatalf("tx %d aborted: %s", i, res.Reason)
+		}
+	}
+	if err := nw.WaitHeight(nw.Height(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientPrivateSchema(t *testing.T) {
+	nw, err := NewNetwork(demoOptions(OrderThenExecute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	alice := nw.Client("alice")
+	if _, err := alice.ExecPrivate(`CREATE TABLE scratch (id BIGINT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.ExecPrivate(`INSERT INTO scratch VALUES (1, 'mine')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := alice.Query(`SELECT s.v, a.owner FROM scratch s JOIN accounts a ON a.id = s.id`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str() != "mine" {
+		t.Fatalf("cross-schema join = %v, %v", res, err)
+	}
+	// Other orgs' clients don't see it.
+	bob := nw.Client("bob")
+	if _, err := bob.Query(`SELECT * FROM scratch`); err == nil {
+		t.Fatal("private table visible on another org's node")
+	}
+}
+
+func TestUnknownUserPanics(t *testing.T) {
+	nw, err := NewNetwork(demoOptions(OrderThenExecute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Client(unknown) should panic")
+		}
+	}()
+	nw.Client("mallory")
+}
+
+func TestValueHelpers(t *testing.T) {
+	if Int(5).Int() != 5 || Float(2.5).Float() != 2.5 || Text("x").Str() != "x" {
+		t.Fatal("constructors broken")
+	}
+	if !Bool(true).Bool() || !Null().IsNull() || string(Bytes([]byte{1}).Bytes()) != "\x01" {
+		t.Fatal("constructors broken")
+	}
+}

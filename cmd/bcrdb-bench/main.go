@@ -25,10 +25,15 @@ var (
 	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention")
 	duration = flag.Duration("duration", 2*time.Second, "measurement window per point")
 	warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before each measurement")
+	backend  = flag.String("backend", "memory", "storage backend: memory or disk (disk uses a temp data dir per run)")
 )
 
 func main() {
 	flag.Parse()
+	if *backend != "memory" && *backend != "disk" {
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want memory or disk)\n", *backend)
+		os.Exit(2)
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -76,6 +81,7 @@ func main() {
 func run(cfg workload.RunConfig) workload.Result {
 	cfg.Duration = *duration
 	cfg.Warmup = *warmup
+	cfg.Backend = *backend
 	res, err := workload.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)

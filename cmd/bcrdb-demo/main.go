@@ -22,8 +22,10 @@ import (
 )
 
 var (
-	flowFlag = flag.String("flow", "oe", "transaction flow: oe (order-then-execute) or eo (execute-order-in-parallel)")
-	repl     = flag.Bool("repl", false, "start a read-only SQL shell after the scenario")
+	flowFlag    = flag.String("flow", "oe", "transaction flow: oe (order-then-execute) or eo (execute-order-in-parallel)")
+	repl        = flag.Bool("repl", false, "start a read-only SQL shell after the scenario")
+	backendFlag = flag.String("backend", "memory", "storage backend: memory or disk")
+	dataDir     = flag.String("datadir", "", "data directory for -backend=disk (default: a temp dir, removed on exit); must be empty/fresh — identities and ordering state are regenerated per run")
 )
 
 const transferSrc = `
@@ -49,6 +51,16 @@ func main() {
 	if *flowFlag == "eo" {
 		flow = bcrdb.ExecuteOrder
 	}
+	dir := *dataDir
+	if *backendFlag == "disk" && dir == "" {
+		tmp, err := os.MkdirTemp("", "bcrdb-demo-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		fmt.Println("disk backend data dir:", dir)
+	}
 
 	fmt.Println("bootstrapping a 3-organization network...")
 	nw, err := bcrdb.NewNetwork(bcrdb.Options{
@@ -60,6 +72,8 @@ func main() {
 		Flow:         flow,
 		BlockSize:    50,
 		BlockTimeout: 50 * time.Millisecond,
+		Backend:      *backendFlag,
+		DataDir:      dir,
 		Genesis: bcrdb.Genesis{
 			SQL: []string{
 				`CREATE TABLE accounts (id BIGINT PRIMARY KEY, owner TEXT, balance DOUBLE)`,

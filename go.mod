@@ -1,0 +1,3 @@
+module bcrdb
+
+go 1.22

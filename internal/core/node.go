@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -82,6 +83,14 @@ type Config struct {
 	// crash recovery. Empty means in-memory only.
 	DataDir string
 
+	// Backend selects the storage implementation: storage.KindMemory
+	// (default) keeps all table versions in memory and rebuilds them by
+	// re-executing the block store on restart; storage.KindDisk
+	// additionally append-ahead-logs committed row versions and restores
+	// them by WAL replay, skipping re-execution of already-durable
+	// blocks. KindDisk requires DataDir.
+	Backend storage.Kind
+
 	// CheckpointEvery emits a checkpoint every N blocks (§3.3.4);
 	// defaults to 1.
 	CheckpointEvery uint64
@@ -138,7 +147,7 @@ type Node struct {
 	// identities live in the replicated sys_certs table.
 	netReg *identity.Registry
 
-	store  *storage.Store
+	store  storage.Backend
 	eng    *engine.Engine
 	interp *proc.Interp
 
@@ -208,7 +217,26 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1
 	}
-	st := storage.NewStore()
+	kind, err := storage.ParseKind(string(cfg.Backend))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var storePath string
+	if kind == storage.KindDisk {
+		if cfg.DataDir == "" {
+			return nil, errors.New("core: disk storage backend requires DataDir")
+		}
+		storePath = filepath.Join(cfg.DataDir, cfg.Name+".store.wal")
+	}
+	st, err := storage.Open(kind, storePath)
+	if err != nil {
+		return nil, err
+	}
 	eng := engine.New(st)
 	n := &Node{
 		cfg:        cfg,
@@ -270,8 +298,14 @@ type CertEntry struct {
 }
 
 // Bootstrap initializes system tables and applies the genesis state at
-// block 0. Every node of the network must receive the same genesis.
+// block 0. Every node of the network must receive the same genesis. On a
+// disk-backed node whose store was already restored by WAL replay the
+// call is a no-op: the genesis state (including block 0's commits) came
+// back with the replay.
 func (n *Node) Bootstrap(g Genesis) error {
+	if n.store.HasTable("sys_certs") {
+		return nil
+	}
 	if err := proc.CreateSystemTables(n.eng); err != nil {
 		return err
 	}
@@ -340,6 +374,7 @@ func (n *Node) Stop() {
 			n.log.Close()
 		}
 		n.blocks.Close()
+		n.store.Close()
 	})
 }
 
@@ -358,8 +393,8 @@ func (n *Node) Height() int64 { return n.store.Height() }
 // SELECTs run on one node and are not recorded on the chain).
 func (n *Node) Engine() *engine.Engine { return n.eng }
 
-// Store exposes the underlying store (tests, state hashing).
-func (n *Node) Store() *storage.Store { return n.store }
+// Store exposes the underlying storage backend (tests, state hashing).
+func (n *Node) Store() storage.Backend { return n.store }
 
 // BlockStore exposes the chain (tests, audits).
 func (n *Node) BlockStore() *ledger.BlockStore { return n.blocks }

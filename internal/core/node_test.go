@@ -78,6 +78,7 @@ type netOpts struct {
 	nNodes          int
 	cfg             ordering.Config
 	dataDirs        bool
+	backend         storage.Kind // "" = memory
 	checkpointEvery uint64
 }
 
@@ -143,6 +144,7 @@ func newTestNet(t *testing.T, o netOpts) *testNet {
 			cfg.DataDir = t.TempDir()
 			tn.dataDirs = append(tn.dataDirs, cfg.DataDir)
 		}
+		cfg.Backend = o.backend
 		node, err := NewNode(cfg, peerSigners[i], netReg.Clone(), tn.net)
 		if err != nil {
 			t.Fatal(err)
@@ -510,7 +512,19 @@ func TestTamperedReplicaDetected(t *testing.T) {
 }
 
 func TestRecoveryAfterRestart(t *testing.T) {
-	tn := newTestNet(t, netOpts{flow: OrderThenExecute, dataDirs: true,
+	testRecoveryAfterRestart(t, storage.KindMemory)
+}
+
+// TestDiskBackendRecoveryAfterRestart is the same crash/restart scenario
+// on the disk backend: the restarted node's state comes back from
+// storage-WAL replay rather than chain re-execution, and must reach the
+// identical state hash as a peer that never went down.
+func TestDiskBackendRecoveryAfterRestart(t *testing.T) {
+	testRecoveryAfterRestart(t, storage.KindDisk)
+}
+
+func testRecoveryAfterRestart(t *testing.T, backend storage.Kind) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute, dataDirs: true, backend: backend,
 		cfg: ordering.Config{BlockSize: 2, BlockTimeout: 20 * time.Millisecond}})
 	var maxBlock uint64
 	for i := 0; i < 6; i++ {
@@ -567,6 +581,14 @@ func TestRecoveryAfterRestart(t *testing.T) {
 	}
 	if restarted.StateHash(int64(lastBlock)) != tn.nodes[0].StateHash(int64(lastBlock)) {
 		t.Fatal("state divergence after catch-up")
+	}
+	if backend == storage.KindDisk {
+		// The restored prefix must come back via storage-WAL replay, not
+		// chain re-execution: only the catch-up window is processed.
+		if got := restarted.Metrics().BlocksProcessed.Load(); got > int64(lastBlock)-int64(maxBlock) {
+			t.Fatalf("disk-backed restart re-executed %d blocks, want at most %d",
+				got, int64(lastBlock)-int64(maxBlock))
+		}
 	}
 }
 

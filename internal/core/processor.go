@@ -106,6 +106,12 @@ func (n *Node) processLoop() {
 // (§3.3.2–§3.3.4 / §3.4). replay suppresses externally visible effects
 // (checkpoint submission, notifications) during §3.6 recovery.
 func (n *Node) processBlock(b *ledger.Block, replay bool) {
+	if int64(b.Number) <= n.store.Height() {
+		// Already reflected in the store: a disk-backed restart restored
+		// state ahead of the (unsynced) block store tail, and catch-up is
+		// refilling the chain. Re-applying would double-commit.
+		return
+	}
 	t0 := time.Now()
 	n.collectCheckpoints(b, replay)
 
@@ -343,7 +349,7 @@ func (n *Node) appendLedgerRows(b *ledger.Block, execs []*execution, outcomes []
 // writeSetHash digests the union of all changes a block committed
 // (§3.3.4): per committed transaction in block order, every inserted row
 // and every superseded row's primary key.
-func writeSetHash(st *storage.Store, txs []*ledger.Transaction, recs []*storage.TxRecord) ledger.Hash {
+func writeSetHash(st storage.Backend, txs []*ledger.Transaction, recs []*storage.TxRecord) ledger.Hash {
 	h := sha256.New()
 	for i, rec := range recs {
 		e := codec.NewBuf(256)
@@ -433,15 +439,20 @@ func (n *Node) evaluateCheckpoint(block uint64) {
 
 // --- recovery (§3.6) ----------------------------------------------------------
 
-// recoverLocal replays the persisted chain to rebuild state. Because
-// execution and commit decisions are deterministic, replaying the block
-// store reproduces exactly the pre-crash state; the WAL cross-checks the
-// replayed outcomes (a mismatch means the block store or log was
-// tampered with). A torn WAL tail — the crash cases of §3.6 — is simply
-// re-processed.
+// recoverLocal rebuilds state after a restart. With the memory backend
+// the persisted chain is re-executed from block 1: execution and commit
+// decisions are deterministic, so replay reproduces exactly the
+// pre-crash state. With the disk backend the store was already restored
+// by storage-WAL replay up to its durable height, so those blocks are
+// skipped (their write-set hashes are loaded from the block-outcome WAL
+// instead) and only the crash-window tail is re-executed. Either way the
+// WAL cross-checks every re-executed outcome (a mismatch means the block
+// store or log was tampered with), and a torn WAL tail — the crash cases
+// of §3.6 — is simply re-processed.
 func (n *Node) recoverLocal() error {
 	height := n.blocks.Height()
-	if height == 0 {
+	restored := n.store.Height() // >0 only when the disk backend replayed state
+	if height == 0 && restored == 0 {
 		return nil
 	}
 	var walRecs []*wal.BlockRecord
@@ -457,6 +468,17 @@ func (n *Node) recoverLocal() error {
 		byBlock[r.Block] = r
 	}
 	for i := uint64(1); i <= height; i++ {
+		if int64(i) <= restored {
+			// State for this block came back with the storage WAL; adopt
+			// the recorded write-set hash so checkpointing stays coherent.
+			if rec, ok := byBlock[i]; ok {
+				n.cpMu.Lock()
+				n.ownHashes[i] = ledger.Hash(rec.WriteHash)
+				n.cpMu.Unlock()
+				n.evaluateCheckpoint(i)
+			}
+			continue
+		}
 		b, err := n.blocks.Get(i)
 		if err != nil {
 			return err

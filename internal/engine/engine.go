@@ -97,16 +97,17 @@ type Result struct {
 	Affected int
 }
 
-// Engine executes SQL against a store.
+// Engine executes SQL against a storage backend (memory or disk — the
+// engine is backend-agnostic; see storage.Backend).
 type Engine struct {
-	store *storage.Store
+	store storage.Backend
 }
 
-// New returns an engine over the store.
-func New(st *storage.Store) *Engine { return &Engine{store: st} }
+// New returns an engine over the given storage backend.
+func New(st storage.Backend) *Engine { return &Engine{store: st} }
 
-// Store exposes the underlying store (used by the node core).
-func (e *Engine) Store() *storage.Store { return e.store }
+// Store exposes the underlying storage backend (used by the node core).
+func (e *Engine) Store() storage.Backend { return e.store }
 
 // Execution errors.
 var (
@@ -206,9 +207,24 @@ func (e *Engine) Exec(ctx *ExecCtx, stmt sqlparser.Statement) (*Result, error) {
 
 // --- DDL ---------------------------------------------------------------------
 
+// checkDDLCtx rejects DDL in contexts that must not alter the catalog:
+// read-only queries and smart contracts (§3.7: schema changes ride in
+// genesis SQL or the node-private schema, never inside contracts — which
+// also keeps catalog changes out of block processing, an invariant the
+// disk backend's WAL frame stamping relies on).
+func checkDDLCtx(ctx *ExecCtx) error {
+	switch ctx.Mode {
+	case ModeReadOnly:
+		return ErrReadOnlyCtx
+	case ModeContract:
+		return ErrDDLInContract
+	}
+	return nil
+}
+
 func (e *Engine) execCreateTable(ctx *ExecCtx, s *sqlparser.CreateTable) (*Result, error) {
-	if ctx.Mode == ModeReadOnly {
-		return nil, ErrReadOnlyCtx
+	if err := checkDDLCtx(ctx); err != nil {
+		return nil, err
 	}
 	if len(s.PrimaryKey) == 0 {
 		return nil, fmt.Errorf("engine: table %s must declare a primary key", s.Name)
@@ -246,8 +262,8 @@ func (e *Engine) execCreateTable(ctx *ExecCtx, s *sqlparser.CreateTable) (*Resul
 }
 
 func (e *Engine) execCreateIndex(ctx *ExecCtx, s *sqlparser.CreateIndex) (*Result, error) {
-	if ctx.Mode == ModeReadOnly {
-		return nil, ErrReadOnlyCtx
+	if err := checkDDLCtx(ctx); err != nil {
+		return nil, err
 	}
 	t, err := e.store.Table(s.Table)
 	if err != nil {
@@ -269,8 +285,8 @@ func (e *Engine) execCreateIndex(ctx *ExecCtx, s *sqlparser.CreateIndex) (*Resul
 }
 
 func (e *Engine) execDropTable(ctx *ExecCtx, s *sqlparser.DropTable) (*Result, error) {
-	if ctx.Mode == ModeReadOnly {
-		return nil, ErrReadOnlyCtx
+	if err := checkDDLCtx(ctx); err != nil {
+		return nil, err
 	}
 	if err := e.store.DropTable(s.Name); err != nil {
 		if s.IfExists && errors.Is(err, storage.ErrNoSuchTable) {

@@ -625,6 +625,26 @@ func TestDDLInsideReadOnlyFails(t *testing.T) {
 	}
 }
 
+// Contracts must never alter the catalog (§3.7): schema changes ride in
+// genesis SQL or the node-private schema. The disk backend's WAL frame
+// stamping additionally relies on DDL staying out of block processing.
+func TestDDLInsideContractFails(t *testing.T) {
+	h := newHarness(t)
+	h.ddl(`CREATE TABLE x (a BIGINT PRIMARY KEY)`)
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &ExecCtx{Mode: ModeContract, Height: h.block, Rec: rec}
+	for _, sql := range []string{
+		`CREATE TABLE y (a BIGINT PRIMARY KEY)`,
+		`CREATE INDEX x_a ON x (a)`,
+		`DROP TABLE x`,
+	} {
+		if _, err := h.eng.ExecSQL(ctx, sql); !errors.Is(err, ErrDDLInContract) {
+			t.Fatalf("%s: err = %v, want ErrDDLInContract", sql, err)
+		}
+	}
+	h.st.AbortTx(rec)
+}
+
 func TestCompositeIndexRangeScan(t *testing.T) {
 	h := newHarness(t)
 	h.ddl(`CREATE TABLE ev (id BIGINT PRIMARY KEY, grp TEXT, seq BIGINT, val DOUBLE)`)

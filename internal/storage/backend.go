@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"fmt"
+
+	"bcrdb/internal/index"
+	"bcrdb/internal/types"
+)
+
+// Backend is the pluggable storage layer underneath the SQL engine and
+// the block processor. It captures everything the rest of the system
+// needs from a node's versioned relational store: catalog management,
+// snapshot-at-block-height reads for SSI, provisional writes with
+// commit-turn validation, deterministic state hashing, and
+// checkpoint/restore for durability.
+//
+// Two implementations exist:
+//
+//   - *Store (KindMemory): the original purely in-memory store — the
+//     default for tests and benchmarks;
+//   - *DiskStore (KindDisk): a durable store that append-ahead-logs every
+//     committed mutation through internal/wal and rebuilds committed
+//     state by WAL replay on startup.
+//
+// All implementations must be safe for concurrent use by the block
+// processor, executing transactions, and read-only queries.
+type Backend interface {
+	// --- lifecycle ------------------------------------------------------
+
+	// Close releases any resources (files, fds). The store stays readable
+	// for in-memory state but must not be written afterwards.
+	Close() error
+	// Checkpoint compacts the backend's durable representation to a
+	// snapshot of current committed state (a no-op for volatile
+	// backends). Callers must be quiescent: no block may be mid-commit.
+	Checkpoint() error
+
+	// --- chain height and transaction status ----------------------------
+
+	Height() int64
+	SetHeight(h int64)
+	BeginTx() TxID
+	IsCommitted(id TxID) (bool, int64)
+
+	// --- catalog (DDL) --------------------------------------------------
+
+	CreateTable(schema Schema) error
+	DropTable(name string) error
+	CreateIndex(table, name string, cols []int, unique bool) error
+	Table(name string) (*Table, error)
+	HasTable(name string) bool
+	TableNames() []string
+	SetHashExempt(table string)
+
+	// --- reads ----------------------------------------------------------
+
+	ScanIndex(table, ixName string, rng index.Range, self TxID, height int64, mode ScanMode, fn func(v *RowVersion) bool) error
+	Get(table string, ref uint64) *RowVersion
+	IndexKeys(table string, ref uint64) map[string]types.Key
+	CountVersions(table string) (int, error)
+	CountVisible(table string, height int64) (int, error)
+
+	// --- writes and commit turn -----------------------------------------
+
+	Insert(rec *TxRecord, table string, row types.Row) (*RowVersion, error)
+	MarkDelete(rec *TxRecord, table string, ref uint64) error
+	Validate(rec *TxRecord, current int64) error
+	CommitTx(rec *TxRecord, block int64)
+	AbortTx(rec *TxRecord)
+
+	// --- maintenance and integrity --------------------------------------
+
+	Vacuum(horizon int64) int
+	StateHash(height int64) [32]byte
+}
+
+// Compile-time checks that both implementations satisfy Backend.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*DiskStore)(nil)
+)
+
+// Kind names a storage backend implementation.
+type Kind string
+
+// Backend kinds.
+const (
+	// KindMemory is the purely in-memory store (the default).
+	KindMemory Kind = "memory"
+	// KindDisk is the durable WAL-backed store.
+	KindDisk Kind = "disk"
+)
+
+// ParseKind validates a backend name ("" means memory).
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", KindMemory:
+		return KindMemory, nil
+	case KindDisk:
+		return KindDisk, nil
+	}
+	return "", fmt.Errorf("storage: unknown backend %q (want %q or %q)", s, KindMemory, KindDisk)
+}
+
+// Open constructs a backend of the given kind. path is the WAL file
+// location for KindDisk and is ignored for KindMemory.
+func Open(kind Kind, path string) (Backend, error) {
+	switch kind {
+	case "", KindMemory:
+		return NewStore(), nil
+	case KindDisk:
+		if path == "" {
+			return nil, fmt.Errorf("storage: disk backend requires a WAL path")
+		}
+		return OpenDisk(path)
+	}
+	return nil, fmt.Errorf("storage: unknown backend kind %q", kind)
+}
+
+// Close implements Backend for the in-memory store (nothing to release).
+func (s *Store) Close() error { return nil }
+
+// Checkpoint implements Backend for the in-memory store: volatile state
+// has no durable representation to compact.
+func (s *Store) Checkpoint() error { return nil }

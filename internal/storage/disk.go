@@ -1,0 +1,630 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bcrdb/internal/codec"
+	"bcrdb/internal/types"
+	"bcrdb/internal/wal"
+)
+
+// DiskStore is the durable storage backend: an in-memory working store
+// (for reads, planning and provisional writes — identical semantics to
+// *Store) plus an append-ahead log of every committed mutation, written
+// through internal/wal's CRC-framed log. On startup, OpenDisk rebuilds
+// committed state by replaying the log.
+//
+// Durability contract: a block is durable once its height frame has been
+// fsynced (SetHeight syncs, flushing all preceding commit frames of that
+// block with it). Commit frames beyond the last durable height frame —
+// a crash mid-block — are dropped at replay and the block is simply
+// re-processed from the block store, exactly like the §3.6 recovery
+// cases. Private-schema transactions (§3.7) become durable at the next
+// block boundary or Close, whichever comes first.
+type DiskStore struct {
+	*Store // in-memory working state; reads and provisional writes pass through
+
+	mu   sync.Mutex // guards log, err and appends
+	log  *wal.Log
+	err  error // first append/sync failure; latched until checked
+	path string
+}
+
+// Log frame kinds. Every frame starts with one kind byte. DDL-ish frames
+// carry the height they were logged at ("at") and apply at replay only
+// when at <= the recovery horizon; commit frames carry their block and
+// apply only when block <= horizon.
+//
+// The "at" stamp is only crash-correct because DDL never executes inside
+// block processing: the engine rejects DDL in contract mode
+// (ErrDDLInContract), so catalog changes come solely from bootstrap
+// (before the height-0 frame) and from private-schema statements (whose
+// height frame is already durable). A DDL frame can therefore never
+// belong to a block that replay might drop.
+const (
+	opCreateTable byte = iota + 1
+	opCreateIndex
+	opDropTable
+	opHashExempt
+	opCommit
+	opHeight
+	opVacuum
+)
+
+// OpenDisk opens (creating if needed) a disk backend whose log lives at
+// path, replaying any existing committed state.
+func (d *DiskStore) openLog() error {
+	lg, err := wal.Open(d.path)
+	if err != nil {
+		return err
+	}
+	d.log = lg
+	return nil
+}
+
+// OpenDisk opens the durable backend at path and restores committed
+// state by WAL replay. The recovery horizon H is the newest height frame
+// in the log; frames stamped beyond H (a crash mid-block) are discarded
+// and the log is compacted to exactly the applied prefix, so a
+// subsequent re-processing of block H+1 cannot double-apply.
+func OpenDisk(path string) (*DiskStore, error) {
+	d := &DiskStore{Store: NewStore(), path: path}
+
+	frames, err := wal.ReadAllRaw(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: disk backend: %w", err)
+	}
+
+	// Pass 1: find the recovery horizon.
+	horizon := int64(-1)
+	for _, f := range frames {
+		if len(f) > 0 && f[0] == opHeight {
+			d2 := codec.NewDec(f[1:])
+			if h := d2.Varint(); d2.Done() == nil && h > horizon {
+				horizon = h
+			}
+		}
+	}
+
+	// Pass 2: apply every frame at or below the horizon, in log order.
+	kept := make([][]byte, 0, len(frames))
+	txOf := make(map[int64]TxID) // synthetic committed tx per block
+	for _, f := range frames {
+		ok, err := d.applyFrame(f, horizon, txOf)
+		if err != nil {
+			return nil, fmt.Errorf("storage: disk backend replay: %w", err)
+		}
+		if ok {
+			kept = append(kept, f)
+		}
+	}
+	if horizon >= 0 {
+		d.Store.SetHeight(horizon)
+	}
+
+	// Drop the frames beyond the horizon from the log itself, so they can
+	// never be applied by a later restart after the block is re-processed
+	// (which would double-apply its writes).
+	if len(kept) != len(frames) {
+		if err := wal.Rewrite(path, kept); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.openLog(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// txFor returns (allocating if needed) the synthetic replay transaction
+// standing in for all transactions committed in the given block.
+// Node-local transaction ids are not durable by design (§4.2); only the
+// deterministic block stamps matter for visibility and hashing.
+func (d *DiskStore) txFor(txOf map[int64]TxID, block int64) TxID {
+	id, ok := txOf[block]
+	if !ok {
+		id = d.Store.BeginTx()
+		d.Store.txMu.Lock()
+		d.Store.tx[id] = txState{kind: txCommitted, block: block}
+		d.Store.txMu.Unlock()
+		txOf[block] = id
+	}
+	return id
+}
+
+// applyFrame applies one log frame during replay. It reports whether the
+// frame is inside the recovery horizon (and was therefore applied).
+func (d *DiskStore) applyFrame(f []byte, horizon int64, txOf map[int64]TxID) (bool, error) {
+	if len(f) == 0 {
+		return false, fmt.Errorf("empty frame")
+	}
+	dec := codec.NewDec(f[1:])
+	switch f[0] {
+	case opCreateTable:
+		at := dec.Varint()
+		schema := decodeSchema(dec)
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if at > horizon {
+			return false, nil
+		}
+		if err := d.Store.CreateTable(schema); err != nil {
+			return false, err
+		}
+	case opCreateIndex:
+		at := dec.Varint()
+		table := dec.String()
+		name := dec.String()
+		n := dec.Uvarint()
+		cols := make([]int, 0, n)
+		for i := uint64(0); i < n && dec.Err() == nil; i++ {
+			cols = append(cols, int(dec.Varint()))
+		}
+		unique := dec.Bool()
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if at > horizon {
+			return false, nil
+		}
+		if err := d.Store.CreateIndex(table, name, cols, unique); err != nil {
+			return false, err
+		}
+	case opDropTable:
+		at := dec.Varint()
+		name := dec.String()
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if at > horizon {
+			return false, nil
+		}
+		_ = d.Store.DropTable(name) // table may already be gone
+	case opHashExempt:
+		at := dec.Varint()
+		table := dec.String()
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if at > horizon {
+			return false, nil
+		}
+		d.Store.SetHashExempt(table)
+	case opVacuum:
+		at := dec.Varint()
+		hz := dec.Varint()
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if at > horizon {
+			return false, nil
+		}
+		d.Store.Vacuum(hz)
+	case opHeight:
+		h := dec.Varint()
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if h > horizon {
+			return false, nil
+		}
+		d.Store.SetHeight(h)
+	case opCommit:
+		block := dec.Varint()
+		nIns := dec.Uvarint()
+		type insOp struct {
+			table string
+			ref   uint64
+			row   types.Row
+		}
+		ins := make([]insOp, 0, nIns)
+		for i := uint64(0); i < nIns && dec.Err() == nil; i++ {
+			ins = append(ins, insOp{table: dec.String(), ref: dec.Uvarint(), row: dec.Row()})
+		}
+		nDel := dec.Uvarint()
+		type delOp struct {
+			table string
+			ref   uint64
+		}
+		del := make([]delOp, 0, nDel)
+		for i := uint64(0); i < nDel && dec.Err() == nil; i++ {
+			del = append(del, delOp{table: dec.String(), ref: dec.Uvarint()})
+		}
+		if err := dec.Done(); err != nil {
+			return false, err
+		}
+		if block > horizon {
+			return false, nil
+		}
+		xid := d.txFor(txOf, block)
+		for _, op := range ins {
+			d.Store.replayInsert(op.table, op.ref, op.row, xid, block)
+		}
+		for _, op := range del {
+			d.Store.replayDelete(op.table, op.ref, xid, block)
+		}
+	default:
+		return false, fmt.Errorf("unknown frame kind %d", f[0])
+	}
+	return true, nil
+}
+
+// append writes one frame to the log, latching the first failure.
+func (d *DiskStore) append(payload []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return
+	}
+	if err := d.log.AppendRaw(payload); err != nil && d.err == nil {
+		d.err = err
+	}
+}
+
+// sync flushes the log to stable storage, latching the first failure.
+func (d *DiskStore) sync() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return
+	}
+	if err := d.log.Sync(); err != nil && d.err == nil {
+		d.err = err
+	}
+}
+
+// --- logged overrides of the mutating operations ------------------------------
+
+// CreateTable creates the table and logs the DDL.
+func (d *DiskStore) CreateTable(schema Schema) error {
+	if err := d.Store.CreateTable(schema); err != nil {
+		return err
+	}
+	d.append(encodeCreateTable(d.Store.Height(), schema))
+	return nil
+}
+
+// DropTable drops the table and logs the DDL.
+func (d *DiskStore) DropTable(name string) error {
+	if err := d.Store.DropTable(name); err != nil {
+		return err
+	}
+	e := codec.NewBuf(32)
+	e.Byte(opDropTable)
+	e.Varint(d.Store.Height())
+	e.String(name)
+	d.append(e.Bytes())
+	return nil
+}
+
+// CreateIndex creates the index and logs the DDL.
+func (d *DiskStore) CreateIndex(table, name string, cols []int, unique bool) error {
+	if err := d.Store.CreateIndex(table, name, cols, unique); err != nil {
+		return err
+	}
+	d.append(encodeCreateIndex(d.Store.Height(), table, name, cols, unique))
+	return nil
+}
+
+// SetHashExempt marks the table hash-exempt and logs it.
+func (d *DiskStore) SetHashExempt(table string) {
+	d.Store.SetHashExempt(table)
+	e := codec.NewBuf(32)
+	e.Byte(opHashExempt)
+	e.Varint(d.Store.Height())
+	e.String(table)
+	d.append(e.Bytes())
+}
+
+// CommitTx commits in memory and logs the transaction's surviving
+// effects: every inserted version that outlived the commit (with its row
+// data) and every superseded version reference, stamped with the block.
+func (d *DiskStore) CommitTx(rec *TxRecord, block int64) {
+	d.Store.CommitTx(rec, block)
+	if !rec.HasWrites() {
+		return
+	}
+	e := codec.NewBuf(512)
+	e.Byte(opCommit)
+	e.Varint(block)
+	// Count surviving inserts first (versions inserted and deleted within
+	// the same transaction were dropped by CommitTx and must not be
+	// logged).
+	type insOp struct {
+		ir  ItemRef
+		row types.Row
+	}
+	var ins []insOp
+	for _, ir := range rec.Inserted {
+		if v := d.Store.Get(ir.Table, ir.Ref); v != nil {
+			ins = append(ins, insOp{ir, v.Data})
+		}
+	}
+	e.Uvarint(uint64(len(ins)))
+	for _, op := range ins {
+		e.String(op.ir.Table)
+		e.Uvarint(op.ir.Ref)
+		e.Row(op.row)
+	}
+	e.Uvarint(uint64(len(rec.DeletedOld)))
+	for _, ir := range rec.DeletedOld {
+		e.String(ir.Table)
+		e.Uvarint(ir.Ref)
+	}
+	d.append(e.Bytes())
+}
+
+// SetHeight records the new committed height, logs it, and fsyncs: this
+// is the durability point for every commit frame of the block. A log
+// write or sync failure here is unrecoverable — continuing would
+// acknowledge blocks that are not durable — so, like PostgreSQL on a WAL
+// write failure, the node panics and relies on crash recovery.
+func (d *DiskStore) SetHeight(h int64) {
+	d.Store.SetHeight(h)
+	e := codec.NewBuf(16)
+	e.Byte(opHeight)
+	e.Varint(h)
+	d.append(e.Bytes())
+	d.sync()
+	d.mu.Lock()
+	err := d.err
+	d.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("storage: disk WAL write failed, cannot guarantee durability of block %d: %v", h, err))
+	}
+}
+
+// Vacuum prunes in memory and logs the horizon so replay re-applies the
+// same pruning.
+func (d *DiskStore) Vacuum(horizon int64) int {
+	n := d.Store.Vacuum(horizon)
+	e := codec.NewBuf(16)
+	e.Byte(opVacuum)
+	e.Varint(d.Store.Height())
+	e.Varint(horizon)
+	d.append(e.Bytes())
+	return n
+}
+
+// Checkpoint compacts the log to a snapshot of current committed state:
+// catalog frames, one commit frame per block of surviving versions, and
+// a final height frame. Provenance (superseded versions and their
+// creator/deleter stamps) is preserved. The caller must be quiescent —
+// no block mid-commit — exactly like Vacuum.
+func (d *DiskStore) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	h := d.Store.Height()
+	var frames [][]byte
+
+	type blockOps struct {
+		ins *codec.Buf // (table, ref, row) triples
+		del *codec.Buf // (table, ref) pairs
+		nIn uint64
+		nDe uint64
+	}
+	byBlock := make(map[int64]*blockOps)
+	opsFor := func(b int64) *blockOps {
+		ops, ok := byBlock[b]
+		if !ok {
+			ops = &blockOps{ins: codec.NewBuf(256), del: codec.NewBuf(64)}
+			byBlock[b] = ops
+		}
+		return ops
+	}
+
+	for _, name := range d.Store.TableNames() {
+		t, err := d.Store.Table(name)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		frames = append(frames, encodeCreateTable(0, t.schema))
+		ixNames := make([]string, 0, len(t.indexes))
+		for n := range t.indexes {
+			ixNames = append(ixNames, n)
+		}
+		sort.Strings(ixNames)
+		for _, ixn := range ixNames {
+			ix := t.indexes[ixn]
+			if ix == t.primary {
+				continue
+			}
+			frames = append(frames, encodeCreateIndex(0, name, ix.Name, ix.Cols, ix.Unique))
+		}
+		refs := make([]uint64, 0, len(t.heap))
+		for ref := range t.heap {
+			refs = append(refs, ref)
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+		for _, ref := range refs {
+			v := t.heap[ref]
+			if v.CreatorBlk == NoBlock {
+				continue // provisional: not committed, not durable
+			}
+			ops := opsFor(v.CreatorBlk)
+			ops.ins.String(name)
+			ops.ins.Uvarint(v.ID)
+			ops.ins.Row(v.Data)
+			ops.nIn++
+			if v.DeleterBlk != NoBlock {
+				dops := opsFor(v.DeleterBlk)
+				dops.del.String(name)
+				dops.del.Uvarint(v.ID)
+				dops.nDe++
+			}
+		}
+		t.mu.RUnlock()
+	}
+
+	blocks := make([]int64, 0, len(byBlock))
+	for b := range byBlock {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		ops := byBlock[b]
+		e := codec.NewBuf(64 + len(ops.ins.Bytes()) + len(ops.del.Bytes()))
+		e.Byte(opCommit)
+		e.Varint(b)
+		e.Uvarint(ops.nIn)
+		e.Raw(ops.ins.Bytes())
+		e.Uvarint(ops.nDe)
+		e.Raw(ops.del.Bytes())
+		frames = append(frames, e.Bytes())
+	}
+
+	he := codec.NewBuf(16)
+	he.Byte(opHeight)
+	he.Varint(h)
+	frames = append(frames, he.Bytes())
+
+	if d.log != nil {
+		if err := d.log.Close(); err != nil {
+			return err
+		}
+		d.log = nil
+	}
+	if err := wal.Rewrite(d.path, frames); err != nil {
+		// The rename never happened, so the old log is intact: reopen it
+		// and keep appending to it rather than silently disabling logging.
+		if reopenErr := d.openLog(); reopenErr != nil && d.err == nil {
+			d.err = reopenErr
+		}
+		return err
+	}
+	return d.openLog()
+}
+
+// Close syncs and closes the log. The in-memory state stays readable.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return nil
+	}
+	err1 := d.log.Sync()
+	err2 := d.log.Close()
+	d.log = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Path returns the log file location (tests, diagnostics).
+func (d *DiskStore) Path() string { return d.path }
+
+// --- frame encoding helpers ----------------------------------------------------
+
+func encodeCreateTable(at int64, schema Schema) []byte {
+	e := codec.NewBuf(128)
+	e.Byte(opCreateTable)
+	e.Varint(at)
+	e.String(schema.Name)
+	e.Byte(byte(schema.Class))
+	e.Bool(schema.HashExempt)
+	e.Uvarint(uint64(len(schema.Columns)))
+	for _, c := range schema.Columns {
+		e.String(c.Name)
+		e.Byte(byte(c.Type))
+		e.Bool(c.NotNull)
+		e.Bool(c.HasDefault)
+		if c.HasDefault {
+			e.Value(c.Default)
+		}
+	}
+	e.Uvarint(uint64(len(schema.PKCols)))
+	for _, pk := range schema.PKCols {
+		e.Varint(int64(pk))
+	}
+	return e.Bytes()
+}
+
+func decodeSchema(d *codec.Dec) Schema {
+	s := Schema{}
+	s.Name = d.String()
+	s.Class = SchemaClass(d.Byte())
+	s.HashExempt = d.Bool()
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		c := Column{}
+		c.Name = d.String()
+		c.Type = types.Kind(d.Byte())
+		c.NotNull = d.Bool()
+		c.HasDefault = d.Bool()
+		if c.HasDefault {
+			c.Default = d.Value()
+		}
+		s.Columns = append(s.Columns, c)
+	}
+	n = d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		s.PKCols = append(s.PKCols, int(d.Varint()))
+	}
+	return s
+}
+
+func encodeCreateIndex(at int64, table, name string, cols []int, unique bool) []byte {
+	e := codec.NewBuf(64)
+	e.Byte(opCreateIndex)
+	e.Varint(at)
+	e.String(table)
+	e.String(name)
+	e.Uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		e.Varint(int64(c))
+	}
+	e.Bool(unique)
+	return e.Bytes()
+}
+
+// --- replay application (package-internal) -------------------------------------
+
+// replayInsert installs an already-committed version during WAL replay:
+// explicit heap ref, row data, synthetic committed transaction, creator
+// block stamp. Index entries are maintained; uniqueness was validated
+// before the original commit and is not re-checked.
+func (s *Store) replayInsert(table string, ref uint64, row types.Row, xid TxID, block int64) {
+	t, err := s.Table(table)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.heap[ref]; exists {
+		return
+	}
+	v := &RowVersion{
+		ID:         ref,
+		Data:       row,
+		Xmin:       xid,
+		CreatorBlk: block,
+		DeleterBlk: NoBlock,
+	}
+	t.heap[ref] = v
+	if ref > t.nextRef {
+		t.nextRef = ref
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.KeyFor(v.Data), v.ID)
+	}
+}
+
+// replayDelete marks a version superseded during WAL replay.
+func (s *Store) replayDelete(table string, ref uint64, xid TxID, block int64) {
+	t, err := s.Table(table)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v := t.heap[ref]; v != nil {
+		v.Xmax = xid
+		v.DeleterBlk = block
+	}
+}

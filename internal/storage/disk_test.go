@@ -1,0 +1,366 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcrdb/internal/index"
+	"bcrdb/internal/types"
+	"bcrdb/internal/wal"
+)
+
+func openDiskT(t *testing.T, path string) *DiskStore {
+	t.Helper()
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// driveHistory applies an identical scripted history — DDL, inserts,
+// updates, deletes over blocks 1..5 — to any backend, so a disk store
+// can be compared against an "always-up" in-memory peer. It returns the
+// final height.
+func driveHistory(t *testing.T, s Backend) int64 {
+	t.Helper()
+	if err := s.CreateTable(testSchema("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("t", "t_val", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[int64]uint64) // pk -> live heap ref
+
+	// Blocks 1-2: inserts.
+	for blk := int64(1); blk <= 2; blk++ {
+		rec := NewTxRecord(s.BeginTx(), blk-1)
+		for i := int64(0); i < 10; i++ {
+			id := (blk-1)*10 + i
+			v, err := s.Insert(rec, "t", row(id, fmt.Sprintf("b%d", blk), float64(id)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[id] = v.ID
+		}
+		s.CommitTx(rec, blk)
+		s.SetHeight(blk)
+	}
+	// Block 3: update rows 0-4 (delete old version + insert new).
+	rec := NewTxRecord(s.BeginTx(), 2)
+	for id := int64(0); id < 5; id++ {
+		if err := s.MarkDelete(rec, "t", refs[id]); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Insert(rec, "t", row(id, "updated", float64(id)*2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[id] = v.ID
+	}
+	s.CommitTx(rec, 3)
+	s.SetHeight(3)
+	// Block 4: delete rows 15-17.
+	rec = NewTxRecord(s.BeginTx(), 3)
+	for id := int64(15); id <= 17; id++ {
+		if err := s.MarkDelete(rec, "t", refs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CommitTx(rec, 4)
+	s.SetHeight(4)
+	// Block 5: an aborted transaction (must leave no durable trace) and
+	// one more insert.
+	ab := NewTxRecord(s.BeginTx(), 4)
+	if _, err := s.Insert(ab, "t", row(99, "aborted", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.AbortTx(ab)
+	rec = NewTxRecord(s.BeginTx(), 4)
+	if _, err := s.Insert(rec, "t", row(50, "b5", 50)); err != nil {
+		t.Fatal(err)
+	}
+	s.CommitTx(rec, 5)
+	s.SetHeight(5)
+	return 5
+}
+
+// TestDiskBackendRestartMatchesAlwaysUpPeer drives the same history into
+// a disk store and an in-memory peer, "crashes" the disk store (no
+// Close), reopens it, and requires the identical state hash at every
+// height — including provenance reads of superseded versions.
+func TestDiskBackendRestartMatchesAlwaysUpPeer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	peer := NewStore()
+
+	h := driveHistory(t, d)
+	if ph := driveHistory(t, peer); ph != h {
+		t.Fatalf("histories diverge: %d vs %d", h, ph)
+	}
+
+	// Crash: reopen without Close.
+	d2 := openDiskT(t, path)
+	defer d2.Close()
+	if got := d2.Height(); got != h {
+		t.Fatalf("restored height = %d, want %d", got, h)
+	}
+	for hh := int64(0); hh <= h; hh++ {
+		if d2.StateHash(hh) != peer.StateHash(hh) {
+			t.Fatalf("state hash diverges from always-up peer at height %d", hh)
+		}
+	}
+	// Superseded versions (provenance) survive the restart.
+	nd, _ := d2.CountVersions("t")
+	np, _ := peer.CountVersions("t")
+	if nd != np {
+		t.Fatalf("version count %d, peer has %d", nd, np)
+	}
+	// Secondary index usable after replay.
+	rows := 0
+	if err := d2.ScanIndex("t", "t_val", index.AllRange(), 0, h, ScanVisible,
+		func(v *RowVersion) bool { rows++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("secondary index empty after replay")
+	}
+	// New writes continue cleanly after recovery (fresh refs, no unique
+	// collisions with restored state).
+	insertCommitted(t, d2, "t", row(60, "post", 60), h+1)
+	if n, _ := d2.CountVisible("t", h+1); n == 0 {
+		t.Fatal("post-recovery insert invisible")
+	}
+}
+
+// TestDiskBackendCrashMidBlock kills the store after a commit frame was
+// appended but before the block's height frame (and adds a torn partial
+// frame on top — a crash mid-append). Replay must discard the partial
+// block entirely and compact the log so a later re-processing of that
+// block cannot double-apply.
+func TestDiskBackendCrashMidBlock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	peer := NewStore()
+	h := driveHistory(t, d)
+	driveHistory(t, peer)
+	want := peer.StateHash(h)
+
+	// Crash mid-block h+1: the commit frame lands in the log, the height
+	// frame does not.
+	rec := NewTxRecord(d.BeginTx(), h)
+	if _, err := d.Insert(rec, "t", row(999, "lost", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d.CommitTx(rec, h+1)
+	// ... and the crash tears a final append in half.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 200, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := openDiskT(t, path)
+	if got := d2.Height(); got != h {
+		t.Fatalf("restored height = %d, want %d (partial block must be dropped)", got, h)
+	}
+	if d2.StateHash(h) != want {
+		t.Fatal("state hash diverges after dropping partial block")
+	}
+	if n, _ := d2.CountVisible("t", h+1); n != countVisible(t, peer, h) {
+		t.Fatal("dropped block's writes leaked into restored state")
+	}
+	// The compaction must have removed the dropped frames from the log:
+	// nothing beyond the horizon may remain.
+	frames, err := wal.ReadAllRaw(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if len(fr) > 0 && fr[0] == opCommit {
+			dec := newFrameDec(fr)
+			if blk := dec.Varint(); blk > h {
+				t.Fatalf("log still holds a commit frame for block %d > horizon %d", blk, h)
+			}
+		}
+	}
+	d2.Close()
+
+	// Re-processing the block (as node recovery would) and restarting
+	// again must not double-apply.
+	d3 := openDiskT(t, path)
+	rec = NewTxRecord(d3.BeginTx(), h)
+	if _, err := d3.Insert(rec, "t", row(999, "reprocessed", 1)); err != nil {
+		t.Fatal(err)
+	}
+	d3.CommitTx(rec, h+1)
+	d3.SetHeight(h + 1)
+	wantN, _ := d3.CountVersions("t")
+	d3.Close()
+
+	d4 := openDiskT(t, path)
+	defer d4.Close()
+	if gotN, _ := d4.CountVersions("t"); gotN != wantN {
+		t.Fatalf("double apply after re-processing: %d versions, want %d", gotN, wantN)
+	}
+}
+
+func countVisible(t *testing.T, s Backend, h int64) int {
+	t.Helper()
+	n, err := s.CountVisible("t", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// newFrameDec skips the kind byte.
+func newFrameDec(f []byte) *frameDec { return &frameDec{b: f[1:]} }
+
+type frameDec struct{ b []byte }
+
+func (d *frameDec) Varint() int64 {
+	v, n := varint(d.b)
+	d.b = d.b[n:]
+	return v
+}
+
+// varint decodes a zig-zag varint (mirrors codec's encoding).
+func varint(b []byte) (int64, int) {
+	var u uint64
+	var shift, n int
+	for {
+		c := b[n]
+		u |= uint64(c&0x7f) << shift
+		n++
+		if c < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	return int64(u>>1) ^ -int64(u&1), n
+}
+
+// TestDiskBackendVacuumReplayed checks that pruning survives a restart:
+// vacuumed versions stay gone and the state hash is unchanged.
+func TestDiskBackendVacuumReplayed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	h := driveHistory(t, d)
+	removed := d.Vacuum(h - 1)
+	if removed == 0 {
+		t.Fatal("vacuum removed nothing")
+	}
+	wantN, _ := d.CountVersions("t")
+	want := d.StateHash(h)
+
+	d2 := openDiskT(t, path)
+	defer d2.Close()
+	if gotN, _ := d2.CountVersions("t"); gotN != wantN {
+		t.Fatalf("replayed version count %d, want %d (vacuum not replayed)", gotN, wantN)
+	}
+	if d2.StateHash(h) != want {
+		t.Fatal("state hash changed across vacuum replay")
+	}
+}
+
+// TestDiskBackendCheckpointCompaction verifies that Checkpoint rewrites
+// the log to a snapshot without changing state, version provenance, or
+// recoverability.
+func TestDiskBackendCheckpointCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	h := driveHistory(t, d)
+	want := d.StateHash(h)
+	wantN, _ := d.CountVersions("t")
+
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.StateHash(h) != want {
+		t.Fatal("checkpoint changed live state")
+	}
+	// Appends still work after the log swap.
+	insertCommitted(t, d, "t", row(70, "post-ckpt", 7), h+1)
+	want2 := d.StateHash(h + 1)
+	wantN2, _ := d.CountVersions("t")
+	d.Close()
+
+	d2 := openDiskT(t, path)
+	defer d2.Close()
+	if d2.Height() != h+1 {
+		t.Fatalf("height after checkpointed restart = %d, want %d", d2.Height(), h+1)
+	}
+	if d2.StateHash(h) != want || d2.StateHash(h+1) != want2 {
+		t.Fatal("state hash diverges after checkpointed restart")
+	}
+	if gotN, _ := d2.CountVersions("t"); gotN != wantN2 || wantN2 != wantN+1 {
+		t.Fatalf("provenance lost across checkpoint: %d versions, want %d", gotN, wantN2)
+	}
+}
+
+// TestDiskBackendDDLSurvivesRestart covers catalog replay: dropped
+// tables stay dropped, created ones come back with their schema class.
+func TestDiskBackendDDLSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	sc := testSchema("gone")
+	if err := d.CreateTable(sc); err != nil {
+		t.Fatal(err)
+	}
+	priv := testSchema("private_t")
+	priv.Class = ClassPrivate
+	if err := d.CreateTable(priv); err != nil {
+		t.Fatal(err)
+	}
+	d.SetHashExempt("private_t")
+	if err := d.DropTable("gone"); err != nil {
+		t.Fatal(err)
+	}
+	d.SetHeight(1)
+
+	d2 := openDiskT(t, path)
+	defer d2.Close()
+	if d2.HasTable("gone") {
+		t.Fatal("dropped table resurrected by replay")
+	}
+	tab, err := d2.Table("private_t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Schema(); got.Class != ClassPrivate || !got.HashExempt {
+		t.Fatalf("schema flags lost: class=%d hashExempt=%v", got.Class, got.HashExempt)
+	}
+}
+
+func valueEq(a, b types.Value) bool { return types.Compare(a, b) == 0 && a.Kind() == b.Kind() }
+
+// TestDiskBackendRowFidelity spot-checks that replayed rows carry the
+// exact values and creator/deleter stamps of the originals.
+func TestDiskBackendRowFidelity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	d := openDiskT(t, path)
+	peer := NewStore()
+	h := driveHistory(t, d)
+	driveHistory(t, peer)
+
+	d2 := openDiskT(t, path)
+	defer d2.Close()
+	got := scanAll(t, d2, "t", 0, h, ScanProvenance)
+	want := scanAll(t, peer, "t", 0, h, ScanProvenance)
+	if len(got) != len(want) {
+		t.Fatalf("provenance scan: %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		for c := range got[i] {
+			if !valueEq(got[i][c], want[i][c]) {
+				t.Fatalf("row %d col %d: %v != %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}

@@ -14,6 +14,12 @@
 // Visibility is purely a function of (snapshot block height, committed
 // chain), which is what makes transaction execution deterministic on every
 // replica regardless of scheduling.
+//
+// The store is pluggable behind the Backend interface (backend.go): the
+// in-memory *Store here is the reference implementation and the default;
+// *DiskStore (disk.go) adds durability by append-ahead-logging committed
+// mutations through internal/wal and restoring state by WAL replay on
+// startup. See README.md in this package and docs/adr/0001-storage-backends.md.
 package storage
 
 import (

@@ -35,7 +35,7 @@ func row(id int64, val string, amt float64) types.Row {
 }
 
 // insertCommitted inserts a row and commits it at the given block.
-func insertCommitted(t *testing.T, s *Store, table string, r types.Row, block int64) *RowVersion {
+func insertCommitted(t *testing.T, s Backend, table string, r types.Row, block int64) *RowVersion {
 	t.Helper()
 	rec := NewTxRecord(s.BeginTx(), s.Height())
 	v, err := s.Insert(rec, table, r)
@@ -49,7 +49,7 @@ func insertCommitted(t *testing.T, s *Store, table string, r types.Row, block in
 	return v
 }
 
-func scanAll(t *testing.T, s *Store, table string, self TxID, height int64, mode ScanMode) []types.Row {
+func scanAll(t *testing.T, s Backend, table string, self TxID, height int64, mode ScanMode) []types.Row {
 	t.Helper()
 	tab, err := s.Table(table)
 	if err != nil {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -9,12 +10,30 @@ import (
 	"bcrdb/internal/types"
 )
 
+// forEachBackend runs a test body against every storage backend, so the
+// concurrency stress below audits both the in-memory store and the
+// WAL-logging disk store.
+func forEachBackend(t *testing.T, fn func(t *testing.T, s Backend)) {
+	t.Run("memory", func(t *testing.T) { fn(t, NewStore()) })
+	t.Run("disk", func(t *testing.T) {
+		d, err := OpenDisk(filepath.Join(t.TempDir(), "store.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		fn(t, d)
+	})
+}
+
 // TestConcurrentReadersAndWriters hammers one table with concurrent
 // scans, inserts and commits; run with -race it doubles as a locking
 // audit. This mirrors the execution phase of a block: many transactions
 // executing against stable snapshots while the committer stamps versions.
 func TestConcurrentReadersAndWriters(t *testing.T) {
-	s := NewStore()
+	forEachBackend(t, runConcurrentStress)
+}
+
+func runConcurrentStress(t *testing.T, s Backend) {
 	if err := s.CreateTable(testSchema("t")); err != nil {
 		t.Fatal(err)
 	}

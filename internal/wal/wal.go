@@ -1,7 +1,15 @@
-// Package wal is the node's redo log of block outcomes — the stand-in
-// for PostgreSQL's transaction log in the recovery protocol of §3.6. One
-// frame is appended atomically per processed block, carrying every
-// transaction's commit/abort status and the block's write-set hash.
+// Package wal implements the node's append-ahead logging — the stand-in
+// for PostgreSQL's transaction log in the recovery protocol of §3.6.
+//
+// The package has two layers:
+//
+//   - a generic frame log (Append / AppendRaw / ReadAllRaw / Rewrite):
+//     length- and CRC-prefixed opaque payloads with torn-tail truncation,
+//     reused by any subsystem that needs crash-consistent appends (the
+//     disk storage backend logs row mutations through it);
+//   - the block-outcome record (BlockRecord): one frame per processed
+//     block, carrying every transaction's commit/abort status and the
+//     block's write-set hash.
 //
 // A restarting node replays its block store to rebuild state (execution
 // is deterministic), then cross-checks the replayed statuses against the
@@ -17,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"bcrdb/internal/codec"
 )
@@ -92,19 +101,24 @@ func Open(path string) (*Log, error) {
 	return &Log{f: f, path: path}, nil
 }
 
-// Append writes one frame: [len u32][crc u32][payload].
+// Append writes one block-outcome frame.
 func (l *Log) Append(r *BlockRecord) error {
-	payload := r.encode()
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		return err
-	}
-	return nil
+	return l.AppendRaw(r.encode())
+}
+
+// AppendRaw writes one opaque frame: [len u32][crc u32][payload].
+func (l *Log) AppendRaw(payload []byte) error {
+	_, err := l.f.Write(frame(payload))
+	return err
+}
+
+// frame prefixes a payload with its length and CRC.
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
 }
 
 // Sync flushes to stable storage.
@@ -113,10 +127,35 @@ func (l *Log) Sync() error { return l.f.Sync() }
 // Close closes the log.
 func (l *Log) Close() error { return l.f.Close() }
 
-// ReadAll loads every intact frame from path; a torn or corrupt tail is
-// truncated away (crash recovery), while corruption in the middle is an
-// error.
+// ReadAll loads every intact block-outcome frame from path; a torn or
+// corrupt tail is truncated away (crash recovery), while corruption in
+// the middle is an error.
 func ReadAll(path string) ([]*BlockRecord, error) {
+	payloads, err := ReadAllRaw(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*BlockRecord
+	var goodOff int64
+	for i, p := range payloads {
+		rec, err := decodeRecord(p)
+		if err != nil {
+			if i == len(payloads)-1 {
+				// Undecodable tail frame: treat like a torn write.
+				return out, truncate(path, goodOff)
+			}
+			return nil, err
+		}
+		out = append(out, rec)
+		goodOff += int64(8 + len(p))
+	}
+	return out, nil
+}
+
+// ReadAllRaw loads every intact frame payload from path; a torn or
+// CRC-corrupt tail is truncated away (crash recovery), while corruption
+// in the middle is an error. A missing file yields no frames.
+func ReadAllRaw(path string) ([][]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -126,7 +165,7 @@ func ReadAll(path string) ([]*BlockRecord, error) {
 	}
 	defer f.Close()
 
-	var out []*BlockRecord
+	var out [][]byte
 	var goodOff int64
 	for {
 		var hdr [8]byte
@@ -156,16 +195,49 @@ func ReadAll(path string) ([]*BlockRecord, error) {
 			}
 			return nil, fmt.Errorf("%w: at offset %d", ErrCorrupt, goodOff)
 		}
-		rec, err := decodeRecord(payload)
-		if err != nil {
-			if pos, _ := f.Seek(0, io.SeekCurrent); isEOFAt(f, pos) {
-				return out, truncate(path, goodOff)
-			}
-			return nil, err
-		}
-		out = append(out, rec)
+		out = append(out, payload)
 		goodOff += int64(8 + len(payload))
 	}
+}
+
+// Rewrite atomically replaces the log at path with exactly the given
+// frame payloads: it writes a temporary sibling file, syncs it, and
+// renames it over path. Used for log compaction (checkpointing) and for
+// dropping frames beyond the recovery horizon.
+func Rewrite(path string, payloads [][]byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if _, err := f.Write(frame(p)); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Fsync the parent directory so the rename itself survives a power
+	// failure; without it the directory entry may still point at the old
+	// inode and frames appended after the swap would be lost.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 func isEOFAt(f *os.File, pos int64) bool {

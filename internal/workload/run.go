@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,12 @@ type RunConfig struct {
 	Profile      bcrdb.NetProfile
 	BlockSize    int
 	BlockTimeout time.Duration
+
+	// Backend selects the nodes' storage backend ("memory" or "disk").
+	// The disk backend needs a data directory; when DataDir is empty a
+	// temporary one is created and removed after the run.
+	Backend string
+	DataDir string
 
 	// ArrivalRate > 0 drives an open-loop Poisson-like arrival process
 	// at that many tx/s. ArrivalRate == 0 saturates the system with a
@@ -102,6 +109,16 @@ func Run(cfg RunConfig) (Result, error) {
 		orgs = append(orgs, org)
 	}
 
+	dataDir := cfg.DataDir
+	if cfg.Backend == "disk" && dataDir == "" {
+		tmp, err := os.MkdirTemp("", "bcrdb-bench-*")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
 	nw, err := bcrdb.NewNetwork(bcrdb.Options{
 		Orgs:            orgs,
 		Flow:            cfg.Flow,
@@ -111,6 +128,8 @@ func Run(cfg RunConfig) (Result, error) {
 		BlockSize:       cfg.BlockSize,
 		BlockTimeout:    cfg.BlockTimeout,
 		Profile:         cfg.Profile,
+		Backend:         cfg.Backend,
+		DataDir:         dataDir,
 		Genesis:         Genesis(cfg.Contract),
 	})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"bcrdb/internal/ordering/bft"
 	"bcrdb/internal/ordering/kafka"
 	"bcrdb/internal/simnet"
+	"bcrdb/internal/storage"
 )
 
 // OrderingKind selects the consensus implementation (§4.4).
@@ -77,6 +78,11 @@ type Options struct {
 	// DataDir, when set, persists each node's block store and WAL under
 	// DataDir/<node>, enabling crash recovery.
 	DataDir string
+	// Backend selects each node's storage backend: "memory" (default)
+	// rebuilds state by re-executing the chain on restart; "disk"
+	// append-ahead-logs committed row versions and restores them by WAL
+	// replay. "disk" requires DataDir.
+	Backend string
 	// CheckpointEvery emits write-set checkpoints every N blocks
 	// (default 1).
 	CheckpointEvery uint64
@@ -201,6 +207,16 @@ func NewNetwork(opts Options) (*Network, error) {
 
 	genesis := core.Genesis{Certs: certs, SQL: opts.Genesis.SQL, Contracts: opts.Genesis.Contracts}
 
+	backend, err := storage.ParseKind(opts.Backend)
+	if err != nil {
+		nw.Close()
+		return nil, err
+	}
+	if backend == storage.KindDisk && opts.DataDir == "" {
+		nw.Close()
+		return nil, errors.New("bcrdb: the disk storage backend requires Options.DataDir")
+	}
+
 	// Database nodes.
 	for i, org := range opts.Orgs {
 		cfg := core.Config{
@@ -211,6 +227,7 @@ func NewNetwork(opts Options) (*Network, error) {
 			Orderers:        []string{nw.orderers[i%len(nw.orderers)]},
 			Peers:           peerNames,
 			CheckpointEvery: opts.CheckpointEvery,
+			Backend:         backend,
 		}
 		if opts.DataDir != "" {
 			cfg.DataDir = filepath.Join(opts.DataDir, org.Name)

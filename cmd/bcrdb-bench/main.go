@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +23,101 @@ import (
 )
 
 var (
-	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention")
+	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention")
 	duration = flag.Duration("duration", 2*time.Second, "measurement window per point")
 	warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before each measurement")
 	backend  = flag.String("backend", "memory", "storage backend: memory or disk (disk uses a temp data dir per run)")
+	jsonPath = flag.String("json", "BENCH.json", "write machine-readable results to this file (empty disables)")
 )
+
+// benchScenario is one measured point of BENCH.json: the workload
+// parameters plus the headline and per-stage metrics, so successive PRs
+// can track the performance trajectory mechanically.
+type benchScenario struct {
+	Experiment  string  `json:"experiment"`
+	Flow        string  `json:"flow"`
+	Contract    string  `json:"contract"`
+	Backend     string  `json:"backend"`
+	BlockSize   int     `json:"block_size"`
+	ArrivalRate float64 `json:"arrival_rate_tps"` // 0 = closed-loop saturation
+	Serial      bool    `json:"serial,omitempty"`
+	SyncSeal    bool    `json:"synchronous_seal,omitempty"`
+
+	ThroughputTPS float64 `json:"throughput_tps"`
+	AvgLatencyMs  float64 `json:"avg_latency_ms"`
+	P95LatencyMs  float64 `json:"p95_latency_ms"`
+	Committed     int64   `json:"committed"`
+	Aborted       int64   `json:"aborted"`
+
+	// Per-stage mean nanoseconds per block (the pipeline stages of
+	// docs/adr/0002-block-pipeline.md), plus mean tx execution nanos.
+	BlockProcessNs int64   `json:"block_process_ns"`
+	BlockExecNs    int64   `json:"block_exec_ns"`
+	BlockCommitNs  int64   `json:"block_commit_ns"`
+	BlockSealNs    int64   `json:"block_seal_ns"`
+	TxExecNs       int64   `json:"tx_exec_ns"`
+	SUPercent      float64 `json:"su_percent"`
+}
+
+type benchReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	DurationSec float64         `json:"duration_per_point_sec"`
+	Scenarios   []benchScenario `json:"scenarios"`
+}
+
+var report benchReport
+
+// curExperiment labels recorded scenarios; header() sets it.
+var curExperiment string
+
+func flowName(f bcrdb.Flow) string {
+	if f == bcrdb.ExecuteOrder {
+		return "execute-order"
+	}
+	return "order-then-execute"
+}
+
+func record(cfg workload.RunConfig, r workload.Result) {
+	report.Scenarios = append(report.Scenarios, benchScenario{
+		Experiment:     curExperiment,
+		Flow:           flowName(cfg.Flow),
+		Contract:       cfg.Contract.String(),
+		Backend:        *backend,
+		BlockSize:      cfg.BlockSize,
+		ArrivalRate:    cfg.ArrivalRate,
+		Serial:         cfg.Serial,
+		SyncSeal:       cfg.SynchronousSeal,
+		ThroughputTPS:  r.Throughput,
+		AvgLatencyMs:   r.AvgLatencyMs,
+		P95LatencyMs:   r.P95LatencyMs,
+		Committed:      r.Committed,
+		Aborted:        r.Aborted,
+		BlockProcessNs: int64(r.BPT * 1e6),
+		BlockExecNs:    int64(r.BET * 1e6),
+		BlockCommitNs:  int64(r.BCT * 1e6),
+		BlockSealNs:    int64(r.BST * 1e6),
+		TxExecNs:       int64(r.TET * 1e6),
+		SUPercent:      r.SU,
+	})
+}
+
+func writeReport() {
+	if *jsonPath == "" || len(report.Scenarios) == 0 {
+		return
+	}
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	report.DurationSec = duration.Seconds()
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "BENCH.json:", err)
+		return
+	}
+	if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "BENCH.json:", err)
+		return
+	}
+	fmt.Printf("\nwrote %d scenarios to %s\n", len(report.Scenarios), *jsonPath)
+}
 
 func main() {
 	flag.Parse()
@@ -49,6 +140,7 @@ func main() {
 		{"table4", func() { micro(bcrdb.OrderThenExecute, "Table 4: order-then-execute micro metrics", false) }},
 		{"table5", func() { micro(bcrdb.ExecuteOrder, "Table 5: execute-order-in-parallel micro metrics", true) }},
 		{"serial", serialComparison},
+		{"pipeline", pipelineComparison},
 		{"fig6a", func() {
 			figComplex(workload.ComplexJoin, bcrdb.OrderThenExecute, "Figure 6(a): complex-join, order-then-execute")
 		}},
@@ -76,6 +168,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)
 		os.Exit(2)
 	}
+	writeReport()
 }
 
 func run(cfg workload.RunConfig) workload.Result {
@@ -87,6 +180,7 @@ func run(cfg workload.RunConfig) workload.Result {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
 	}
+	record(cfg, res)
 	return res
 }
 
@@ -96,6 +190,7 @@ func peak(cfg workload.RunConfig) workload.Result {
 }
 
 func header(title string) {
+	curExperiment = title
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
@@ -126,8 +221,8 @@ func micro(flow bcrdb.Flow, title string, withMT bool) {
 	p := peak(base)
 	rate := p.Throughput * 0.9
 	fmt.Printf("arrival rate %.0f tps (≈0.9× measured peak)\n", rate)
-	cols := "%-6s %-8s %-8s %-9s %-9s %-9s %-9s"
-	args := []any{"bs", "brr", "bpr", "bpt(ms)", "bet(ms)", "bct(ms)", "tet(ms)"}
+	cols := "%-6s %-8s %-8s %-9s %-9s %-9s %-9s %-9s"
+	args := []any{"bs", "brr", "bpr", "bpt(ms)", "bet(ms)", "bct(ms)", "bst(ms)", "tet(ms)"}
 	if withMT {
 		cols += " %-8s"
 		args = append(args, "mt")
@@ -140,8 +235,8 @@ func micro(flow bcrdb.Flow, title string, withMT bool) {
 		cfg.BlockSize = bs
 		cfg.ArrivalRate = rate
 		r := run(cfg)
-		rowFmt := "%-6d %-8.1f %-8.1f %-9.2f %-9.2f %-9.2f %-9.3f"
-		row := []any{bs, r.BRR, r.BPR, r.BPT, r.BET, r.BCT, r.TET}
+		rowFmt := "%-6d %-8.1f %-8.1f %-9.2f %-9.2f %-9.2f %-9.2f %-9.3f"
+		row := []any{bs, r.BRR, r.BPR, r.BPT, r.BET, r.BCT, r.BST, r.TET}
 		if withMT {
 			rowFmt += " %-8.1f"
 			row = append(row, r.MT)
@@ -163,6 +258,25 @@ func serialComparison() {
 	fmt.Printf("concurrent SSI peak: %.0f tps\n", par.Throughput)
 	fmt.Printf("serial peak:         %.0f tps\n", serRes.Throughput)
 	fmt.Printf("ratio:               %.2f (paper: ≈0.4)\n", serRes.Throughput/par.Throughput)
+}
+
+func pipelineComparison() {
+	header("Block pipeline A/B: pipelined (seal off critical path) vs SynchronousSeal")
+	fmt.Printf("%-24s %-10s %-12s %-9s %-9s %-9s %-9s %-6s\n",
+		"config", "blocksize", "peak(tps)", "bpt(ms)", "bet(ms)", "bct(ms)", "bst(ms)", "su%")
+	for _, flow := range []bcrdb.Flow{bcrdb.OrderThenExecute, bcrdb.ExecuteOrder} {
+		for _, sync := range []bool{true, false} {
+			name := flowName(flow) + "/pipelined"
+			if sync {
+				name = flowName(flow) + "/sync-seal"
+			}
+			cfg := workload.RunConfig{Contract: workload.Simple, Flow: flow,
+				SynchronousSeal: sync, BlockSize: 100, BlockTimeout: 100 * time.Millisecond}
+			r := peak(cfg)
+			fmt.Printf("%-24s %-10d %-12.1f %-9.2f %-9.2f %-9.2f %-9.2f %-6.1f\n",
+				name, cfg.BlockSize, r.Throughput, r.BPT, r.BET, r.BCT, r.BST, r.SU)
+		}
+	}
 }
 
 func figComplex(c workload.Contract, flow bcrdb.Flow, title string) {

@@ -8,15 +8,24 @@ import (
 // Metrics collects the micro-metrics of §5: block receive/process rates
 // (brr, bpr), block processing/execution/commit times (bpt, bet, bct),
 // transaction execution time (tet), missing transactions (mt) and the
-// block-processor busy time that yields system utilization (su).
-// All counters are cumulative; callers snapshot twice and diff.
+// block-processor busy time that yields system utilization (su) — plus
+// the pipeline's seal-stage timings (bst, seal queue depth).
+//
+// With the pipelined block processor, bpt covers only the commit-critical
+// path (execute + commit, bpt = bet + bct); the seal stage — ledger rows,
+// write-set hash, WAL append, checkpointing, notifications — is measured
+// separately by BlockSealNanos and overlaps the next block's execution.
+// All counters except SealQueueDepth are cumulative; callers snapshot
+// twice and diff. SealQueueDepth is an instantaneous gauge.
 type Metrics struct {
 	BlocksReceived  atomic.Int64 // brr numerator
 	BlocksProcessed atomic.Int64 // bpr numerator
+	BlocksSealed    atomic.Int64 // bst denominator
 
-	BlockProcessNanos atomic.Int64 // Σ bpt
+	BlockProcessNanos atomic.Int64 // Σ bpt (execute + commit critical path)
 	BlockExecNanos    atomic.Int64 // Σ bet
 	BlockCommitNanos  atomic.Int64 // Σ bct
+	BlockSealNanos    atomic.Int64 // Σ bst (seal stage, off the critical path)
 
 	TxExecNanos atomic.Int64 // Σ tet
 	TxExecCount atomic.Int64
@@ -26,6 +35,8 @@ type Metrics struct {
 	MissingTxs  atomic.Int64 // mt numerator (execute-order-in-parallel)
 
 	BusyNanos atomic.Int64 // block processor busy time (su numerator)
+
+	SealQueueDepth atomic.Int64 // gauge: blocks committed but not yet sealed
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -33,15 +44,18 @@ type Snapshot struct {
 	At                time.Time
 	BlocksReceived    int64
 	BlocksProcessed   int64
+	BlocksSealed      int64
 	BlockProcessNanos int64
 	BlockExecNanos    int64
 	BlockCommitNanos  int64
+	BlockSealNanos    int64
 	TxExecNanos       int64
 	TxExecCount       int64
 	TxCommitted       int64
 	TxAborted         int64
 	MissingTxs        int64
 	BusyNanos         int64
+	SealQueueDepth    int64
 }
 
 // Snapshot captures the current counters.
@@ -50,15 +64,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		At:                time.Now(),
 		BlocksReceived:    m.BlocksReceived.Load(),
 		BlocksProcessed:   m.BlocksProcessed.Load(),
+		BlocksSealed:      m.BlocksSealed.Load(),
 		BlockProcessNanos: m.BlockProcessNanos.Load(),
 		BlockExecNanos:    m.BlockExecNanos.Load(),
 		BlockCommitNanos:  m.BlockCommitNanos.Load(),
+		BlockSealNanos:    m.BlockSealNanos.Load(),
 		TxExecNanos:       m.TxExecNanos.Load(),
 		TxExecCount:       m.TxExecCount.Load(),
 		TxCommitted:       m.TxCommitted.Load(),
 		TxAborted:         m.TxAborted.Load(),
 		MissingTxs:        m.MissingTxs.Load(),
 		BusyNanos:         m.BusyNanos.Load(),
+		SealQueueDepth:    m.SealQueueDepth.Load(),
 	}
 }
 
@@ -76,15 +93,18 @@ func (b Snapshot) Sub(a Snapshot) Window {
 		Diff: Snapshot{
 			BlocksReceived:    b.BlocksReceived - a.BlocksReceived,
 			BlocksProcessed:   b.BlocksProcessed - a.BlocksProcessed,
+			BlocksSealed:      b.BlocksSealed - a.BlocksSealed,
 			BlockProcessNanos: b.BlockProcessNanos - a.BlockProcessNanos,
 			BlockExecNanos:    b.BlockExecNanos - a.BlockExecNanos,
 			BlockCommitNanos:  b.BlockCommitNanos - a.BlockCommitNanos,
+			BlockSealNanos:    b.BlockSealNanos - a.BlockSealNanos,
 			TxExecNanos:       b.TxExecNanos - a.TxExecNanos,
 			TxExecCount:       b.TxExecCount - a.TxExecCount,
 			TxCommitted:       b.TxCommitted - a.TxCommitted,
 			TxAborted:         b.TxAborted - a.TxAborted,
 			MissingTxs:        b.MissingTxs - a.MissingTxs,
 			BusyNanos:         b.BusyNanos - a.BusyNanos,
+			SealQueueDepth:    b.SealQueueDepth,
 		},
 	}
 }
@@ -105,6 +125,11 @@ func (w Window) BET() float64 { return msPer(w.Diff.BlockExecNanos, w.Diff.Block
 
 // BCT is the mean block commit time (ms): bpt − bet by construction.
 func (w Window) BCT() float64 { return msPer(w.Diff.BlockCommitNanos, w.Diff.BlocksProcessed) }
+
+// BST is the mean block seal time (ms): ledger rows, write-set digest,
+// WAL append, durability fsync, checkpoint and notifications. With the
+// pipeline enabled this overlaps the next block's bet and bct.
+func (w Window) BST() float64 { return msPer(w.Diff.BlockSealNanos, w.Diff.BlocksSealed) }
 
 // TET is the mean transaction execution time (ms).
 func (w Window) TET() float64 { return msPer(w.Diff.TxExecNanos, w.Diff.TxExecCount) }

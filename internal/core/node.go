@@ -6,6 +6,16 @@
 // based on block height). It also implements the checkpointing phase of
 // §3.3.4 (which the paper left unimplemented) and the crash recovery
 // protocol of §3.6.
+//
+// Block processing is a three-stage pipeline with cross-block overlap:
+// Execute (concurrent contract execution against the block snapshot) and
+// Commit (SSI analysis + commit-turn validation in block order, ending
+// at the height bump) form the commit-critical path, while Seal
+// (sys_ledger rows, write-set digest, WAL frame, durability fsync,
+// checkpoint broadcast, notifications) runs on a background sealer so
+// block N's bookkeeping overlaps block N+1's execution. See pipeline.go
+// and docs/adr/0002-block-pipeline.md; Config.SynchronousSeal restores
+// the fully serial path for A/B comparison.
 package core
 
 import (
@@ -17,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bcrdb/internal/codec"
@@ -94,6 +105,18 @@ type Config struct {
 	// CheckpointEvery emits a checkpoint every N blocks (§3.3.4);
 	// defaults to 1.
 	CheckpointEvery uint64
+
+	// SynchronousSeal disables the block pipeline's background sealer:
+	// the seal stage (sys_ledger rows, write-set hash, WAL frame,
+	// checkpointing, notifications) runs inline on the block processor,
+	// reproducing the fully serial pre-pipeline commit path. Intended for
+	// A/B benchmarking; pipelined and synchronous nodes produce identical
+	// state and checkpoint hashes at every height.
+	SynchronousSeal bool
+	// SealQueue bounds how many committed-but-unsealed blocks may be
+	// queued for the background sealer before the commit stage blocks
+	// (backpressure). Defaults to 64. Ignored with SynchronousSeal.
+	SealQueue int
 }
 
 // TxResult is the outcome of one transaction, delivered via
@@ -169,12 +192,35 @@ type Node struct {
 	pending map[uint64]*ledger.Block
 	blockCh chan *ledger.Block
 
-	// Checkpoint bookkeeping (§3.3.4).
+	// Checkpoint bookkeeping (§3.3.4). ownHashes/peerHashes hold only the
+	// window above lastCP — evaluateCheckpoint prunes at and below it.
 	cpMu       sync.Mutex
 	ownHashes  map[uint64]ledger.Hash
 	peerHashes map[uint64]map[string]ledger.Hash
 	lastCP     uint64
 	alerts     []string
+	// lastSealedHash/lastSealedOutcomes describe the most recently sealed
+	// block; recovery reads them right after a synchronous replay seal
+	// (the ownHashes entry may already be pruned by a checkpoint quorum).
+	lastSealedHash     ledger.Hash
+	lastSealedOutcomes []wal.TxOutcome
+
+	// Seal pipeline (stage 3). sealCh is nil with SynchronousSeal;
+	// sealAbort makes the sealer drop queued work (test crash injection);
+	// sealPause parks the sealer between tasks (test hook).
+	// sealedHeight trails Height() by the unsealed window.
+	sealCh       chan *sealTask
+	sealWG       sync.WaitGroup
+	sealAbort    chan struct{}
+	sealPause    atomic.Bool
+	sealedHeight atomic.Int64
+	diskBacked   bool
+
+	// Recorded transaction ids (§3.4.3 unique-identifier rule): every id
+	// ever recorded in sys_ledger, maintained by the commit stage and
+	// rebuilt from sys_ledger on recovery.
+	seenMu sync.Mutex
+	seenTx map[string]struct{}
 
 	// Notifications.
 	subMu sync.Mutex
@@ -217,6 +263,9 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1
 	}
+	if cfg.SealQueue == 0 {
+		cfg.SealQueue = 64
+	}
 	kind, err := storage.ParseKind(string(cfg.Backend))
 	if err != nil {
 		return nil, err
@@ -251,7 +300,10 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 		ownHashes:  make(map[uint64]ledger.Hash),
 		peerHashes: make(map[uint64]map[string]ledger.Hash),
 		subs:       make(map[string][]chan TxResult),
+		seenTx:     make(map[string]struct{}),
+		sealAbort:  make(chan struct{}),
 		stopped:    make(chan struct{}),
+		diskBacked: kind == storage.KindDisk,
 	}
 	n.heightCond = sync.NewCond(&n.heightMu)
 
@@ -346,14 +398,22 @@ func (n *Node) Bootstrap(g Genesis) error {
 	}
 	n.store.CommitTx(rec, 0)
 	n.store.SetHeight(0)
+	n.store.MarkDurable(0)
 	return nil
 }
 
-// Start launches recovery, catch-up and the block processor. It blocks
-// until local recovery (block store replay) completes.
+// Start launches recovery, the sealer, catch-up and the block processor.
+// It blocks until local recovery (block store replay) completes; replay
+// runs the pipeline stages synchronously, so by the time Start returns
+// every recovered block is fully sealed.
 func (n *Node) Start() error {
 	if err := n.recoverLocal(); err != nil {
 		return err
+	}
+	if !n.cfg.SynchronousSeal {
+		n.sealCh = make(chan *sealTask, n.cfg.SealQueue)
+		n.sealWG.Add(1)
+		go n.sealLoop()
 	}
 	n.wg.Add(1)
 	go n.processLoop()
@@ -361,7 +421,9 @@ func (n *Node) Start() error {
 	return nil
 }
 
-// Stop halts the node. The store stays readable.
+// Stop halts the node, draining the seal queue so every committed block
+// is sealed (ledger rows, WAL frame, durability fsync) before the files
+// close. The store stays readable.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopped)
@@ -370,6 +432,11 @@ func (n *Node) Stop() {
 		// stop signal.
 		n.heightCond.Broadcast()
 		n.wg.Wait()
+		if n.sealCh != nil {
+			// The block processor has exited; flush the sealer's backlog.
+			close(n.sealCh)
+			n.sealWG.Wait()
+		}
 		if n.log != nil {
 			n.log.Close()
 		}
@@ -388,6 +455,14 @@ func (n *Node) Org() string { return n.cfg.Org }
 
 // Height returns the node's committed block height.
 func (n *Node) Height() int64 { return n.store.Height() }
+
+// SealedHeight returns the newest block whose seal (sys_ledger rows,
+// write-set checkpoint, WAL frame, durability fsync) has completed. It
+// trails Height() by the pipeline's in-flight window; with
+// SynchronousSeal the two are always equal between blocks. Readers that
+// consume seal outputs (sys_ledger queries, checkpoint state) should
+// wait on this rather than Height.
+func (n *Node) SealedHeight() int64 { return n.sealedHeight.Load() }
 
 // Engine exposes the SQL engine for read-only queries (§3.7: individual
 // SELECTs run on one node and are not recorded on the chain).

@@ -21,14 +21,15 @@ import (
 // testNet wires N peers, one kafka-style ordering node per peer, and a
 // set of client identities over a fast simulated LAN.
 type testNet struct {
-	t        *testing.T
-	net      *simnet.Network
-	topic    *kafka.Topic
-	orderers []*kafka.Orderer
-	nodes    []*Node
-	clients  map[string]*identity.Signer
-	netReg   *identity.Registry
-	dataDirs []string
+	t              *testing.T
+	net            *simnet.Network
+	topic          *kafka.Topic
+	orderers       []*kafka.Orderer
+	ordererSigners []*identity.Signer
+	nodes          []*Node
+	clients        map[string]*identity.Signer
+	netReg         *identity.Registry
+	dataDirs       []string
 }
 
 var testGenesisSQL = []string{
@@ -80,6 +81,14 @@ type netOpts struct {
 	dataDirs        bool
 	backend         storage.Kind // "" = memory
 	checkpointEvery uint64
+	// syncSeal lists node indexes that run with SynchronousSeal (the
+	// serial pre-pipeline commit path); all others run pipelined. Mixing
+	// both in one network is the determinism-parity test setup.
+	syncSeal map[int]bool
+	// holdSeal lists node indexes whose sealer is parked before Start:
+	// their blocks commit but never seal, simulating a crash with
+	// unsealed blocks when combined with crashForTest.
+	holdSeal map[int]bool
 }
 
 func newTestNet(t *testing.T, o netOpts) *testNet {
@@ -129,6 +138,7 @@ func newTestNet(t *testing.T, o netOpts) *testNet {
 	}
 
 	genesis := Genesis{Certs: certs, SQL: testGenesisSQL, Contracts: testContracts}
+	tn.ordererSigners = ordererSigners
 
 	for i := 0; i < o.nNodes; i++ {
 		cfg := Config{
@@ -145,9 +155,13 @@ func newTestNet(t *testing.T, o netOpts) *testNet {
 			tn.dataDirs = append(tn.dataDirs, cfg.DataDir)
 		}
 		cfg.Backend = o.backend
+		cfg.SynchronousSeal = o.syncSeal[i]
 		node, err := NewNode(cfg, peerSigners[i], netReg.Clone(), tn.net)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if o.holdSeal[i] {
+			node.sealPause.Store(true)
 		}
 		if err := node.Bootstrap(genesis); err != nil {
 			t.Fatal(err)
@@ -220,14 +234,17 @@ func (tn *testNet) await(ch <-chan TxResult) TxResult {
 	}
 }
 
-// waitHeights blocks until every node reaches height h.
+// waitHeights blocks until every node has committed AND sealed block h —
+// sealing is when sys_ledger rows and checkpoint state become visible,
+// so tests reading those after this call stay deterministic under the
+// pipelined processor.
 func (tn *testNet) waitHeights(h int64) {
 	tn.t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
 		ok := true
 		for _, n := range tn.nodes {
-			if n.Height() < h {
+			if n.Height() < h || n.SealedHeight() < h {
 				ok = false
 				break
 			}
@@ -322,8 +339,11 @@ func TestTransfersConserveTotal(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				from := int64(i%3 + 1)
 				to := (from % 3) + 1
+				// The fractional part makes every transaction's arguments —
+				// and therefore its id — unique: the ordering service drops
+				// duplicate ids, which would leave an await hanging.
 				ch, _ := tn.submit(users[i%3], "transfer",
-					types.NewInt(from), types.NewInt(to), types.NewFloat(float64(i%7+1)))
+					types.NewInt(from), types.NewInt(to), types.NewFloat(float64(i%7+1)+float64(i)/100))
 				chans = append(chans, ch)
 			}
 			var maxBlock uint64

@@ -1,0 +1,121 @@
+// The block-processing pipeline (§3.3.2–§3.3.4 / §3.4, restructured for
+// cross-block overlap):
+//
+//	Stage 1 — Execute (stage_execute.go): all transactions of the block
+//	          run concurrently against the pre-block snapshot.
+//	Stage 2 — Commit (stage_commit.go): SSI analysis, commit-turn
+//	          validation and CommitTx strictly in block order, ending at
+//	          bumpHeight — the point at which block N+1's executions may
+//	          proceed.
+//	Stage 3 — Seal (stage_seal.go): sys_ledger rows, the write-set
+//	          digest, the block-outcome WAL frame, the durability fsync,
+//	          checkpoint signing/broadcast and client notifications.
+//
+// Execute and Commit form the commit-critical path and run on the block
+// processor goroutine. Seal is bookkeeping whose outputs nothing on the
+// critical path reads, so it is handed to a dedicated sealer goroutine
+// through a bounded channel: block N's seal overlaps block N+1's
+// execution. Config.SynchronousSeal collapses the pipeline back to the
+// fully serial pre-pipeline behavior for A/B comparison, and replay
+// (§3.6 recovery) always drives the stages synchronously so recovery
+// stays deterministic.
+
+package core
+
+import (
+	"time"
+
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/wal"
+)
+
+// sealTask carries one committed block from the commit stage to the
+// sealer. Everything in it was fully written before the channel send, so
+// the sealer reads it without further synchronization.
+type sealTask struct {
+	block    *ledger.Block
+	execs    []*execution
+	outcomes []wal.TxOutcome
+	results  []TxResult
+	// committedTxs/committedRecs list the transactions that committed, in
+	// block order; recs carry the commit-time write captures the digest
+	// is computed from.
+	committedTxs  []*ledger.Transaction
+	committedRecs []*storage.TxRecord
+	replay        bool
+}
+
+// processLoop drains sequenced blocks.
+func (n *Node) processLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopped:
+			return
+		case b := <-n.blockCh:
+			if b == nil {
+				return
+			}
+			start := time.Now()
+			n.processBlock(b, false)
+			n.metrics.BusyNanos.Add(int64(time.Since(start)))
+		}
+	}
+}
+
+// processBlock runs the pipeline stages for one block. replay suppresses
+// externally visible effects (checkpoint submission, notifications)
+// during §3.6 recovery and forces the seal inline so recovery is
+// deterministic and complete when Start returns.
+func (n *Node) processBlock(b *ledger.Block, replay bool) {
+	if int64(b.Number) <= n.store.Height() {
+		// Already reflected in the store: a disk-backed restart restored
+		// state ahead of the (unsynced) block store tail, and catch-up is
+		// refilling the chain. Re-applying would double-commit.
+		return
+	}
+	t0 := time.Now()
+	n.collectCheckpoints(b, replay)
+	execs := n.executeStage(b, replay)
+	task := n.commitStage(b, execs, replay, t0)
+	if replay || n.sealCh == nil {
+		n.sealStage(task)
+		return
+	}
+	// Hand off to the sealer. The channel bound is the pipeline's
+	// backpressure: if sealing falls more than SealQueue blocks behind,
+	// the commit stage blocks here rather than letting unsealed work grow
+	// without limit.
+	n.metrics.SealQueueDepth.Add(1)
+	n.sealCh <- task
+}
+
+// sealLoop is the sealer goroutine: it consumes committed blocks in
+// block order and runs the seal stage for each. It exits when the commit
+// stage has stopped and the queue is drained (clean shutdown flushes all
+// pending seals), or immediately when sealAbort is closed (simulated
+// crash in tests).
+func (n *Node) sealLoop() {
+	defer n.sealWG.Done()
+	for task := range n.sealCh {
+		for n.sealPause.Load() {
+			// Test hook: parked — a paused sealer cannot drain, so
+			// shutdown must not wait for it.
+			select {
+			case <-n.sealAbort:
+				return
+			case <-n.stopped:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		select {
+		case <-n.sealAbort:
+			return
+		default:
+		}
+		n.sealStage(task)
+		n.metrics.SealQueueDepth.Add(-1)
+	}
+}

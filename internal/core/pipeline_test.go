@@ -1,0 +1,508 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/simnet"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+	"bcrdb/internal/wal"
+)
+
+// crashForTest simulates a crash: the node stops without draining the
+// seal queue (unsealed blocks stay unsealed) and releases its files so a
+// restart can take over the data directory. Contrast with Stop, which
+// flushes every pending seal first.
+func (n *Node) crashForTest() {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		n.ep.Unregister()
+		n.heightCond.Broadcast()
+		n.wg.Wait()
+		close(n.sealAbort) // sealer drops queued tasks instead of sealing
+		if n.sealCh != nil {
+			close(n.sealCh)
+			n.sealWG.Wait()
+		}
+		if n.log != nil {
+			n.log.Close()
+		}
+		n.blocks.Close()
+		n.store.Close()
+	})
+}
+
+// driveMixedTraffic submits puts and (conflict-prone) transfers and
+// returns the highest block any of them landed in.
+func driveMixedTraffic(t *testing.T, tn *testNet, base int64, count int) uint64 {
+	t.Helper()
+	var chans []<-chan TxResult
+	for i := 0; i < count; i++ {
+		var ch <-chan TxResult
+		if i%3 == 2 {
+			ch, _ = tn.submit("bob", "transfer",
+				types.NewInt(1), types.NewInt(2), types.NewFloat(1+float64(i)/100))
+		} else {
+			ch, _ = tn.submit("alice", "put_account",
+				types.NewInt(base+int64(i)), types.NewString("p"), types.NewFloat(float64(i)))
+		}
+		chans = append(chans, ch)
+	}
+	var maxBlock uint64
+	for _, ch := range chans {
+		if r := tn.await(ch); r.Block > maxBlock {
+			maxBlock = r.Block
+		}
+	}
+	return maxBlock
+}
+
+// TestPipelineParity proves the pipelined processor is observationally
+// identical to the serial (SynchronousSeal) one: node 0 runs the serial
+// path while nodes 1–2 run pipelined, across both flows and both
+// backends. Every node must reach the same state hash at every height,
+// and the checkpoint quorum — which only forms when write-set hashes
+// match across nodes — must cover the whole chain with no divergence
+// alerts, proving the checkpoint write-hashes are identical too.
+func TestPipelineParity(t *testing.T) {
+	for _, flow := range []Flow{OrderThenExecute, ExecuteOrder} {
+		for _, backend := range []storage.Kind{storage.KindMemory, storage.KindDisk} {
+			flow, backend := flow, backend
+			name := fmt.Sprintf("%s/%s",
+				map[Flow]string{OrderThenExecute: "OE", ExecuteOrder: "EO"}[flow], backend)
+			t.Run(name, func(t *testing.T) {
+				tn := newTestNet(t, netOpts{
+					flow:     flow,
+					backend:  backend,
+					dataDirs: backend == storage.KindDisk,
+					syncSeal: map[int]bool{0: true},
+					cfg:      ordering.Config{BlockSize: 3, BlockTimeout: 20 * time.Millisecond},
+				})
+				maxBlock := driveMixedTraffic(t, tn, 100, 18)
+				tn.waitHeights(int64(maxBlock))
+
+				// State-hash parity at every height, not just the tip.
+				for h := int64(1); h <= int64(maxBlock); h++ {
+					ref := tn.nodes[0].StateHash(h)
+					for i, n := range tn.nodes[1:] {
+						if got := n.StateHash(h); got != ref {
+							t.Fatalf("node %d state hash differs from sync-seal node at height %d", i+1, h)
+						}
+					}
+				}
+
+				// Keep traffic flowing so the final checkpoints circulate,
+				// then require full quorum coverage and zero alerts: the
+				// quorum only advances when the pipelined nodes' write-set
+				// hashes equal the serial node's at every block.
+				deadline := time.Now().Add(10 * time.Second)
+				for time.Now().Before(deadline) {
+					done := true
+					for _, n := range tn.nodes {
+						if n.LastCheckpoint() < maxBlock {
+							done = false
+						}
+					}
+					if done {
+						break
+					}
+					ch, _ := tn.submit("alice", "put_account",
+						types.NewInt(900+int64(time.Now().UnixNano()%100000)),
+						types.NewString("fill"), types.NewFloat(1))
+					tn.await(ch)
+				}
+				for i, n := range tn.nodes {
+					if n.LastCheckpoint() < maxBlock {
+						t.Fatalf("node %d checkpoint quorum stalled at %d, want %d",
+							i, n.LastCheckpoint(), maxBlock)
+					}
+					if alerts := n.Alerts(); len(alerts) > 0 {
+						t.Fatalf("node %d raised divergence alerts: %v", i, alerts)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrashWithUnsealedBlocksRecovers kills a disk-backed node whose
+// sealer is artificially parked — its blocks are committed (height
+// advanced, state mutated) but never sealed (no ledger rows, no WAL
+// frames, no durable height) — and restarts it. Recovery must
+// re-execute the unsealed tail from the block store, re-derive the
+// missing block-outcome WAL frames and sys_ledger rows, and converge to
+// the always-up peers' state hash (§3.6 case b).
+func TestCrashWithUnsealedBlocksRecovers(t *testing.T) {
+	tn := newTestNet(t, netOpts{
+		flow:     OrderThenExecute,
+		backend:  storage.KindDisk,
+		dataDirs: true,
+		holdSeal: map[int]bool{1: true},
+		cfg:      ordering.Config{BlockSize: 2, BlockTimeout: 20 * time.Millisecond},
+	})
+	held := tn.nodes[1]
+
+	var maxBlock uint64
+	for i := 0; i < 6; i++ {
+		ch, _ := tn.submit("alice", "put_account",
+			types.NewInt(int64(400+i)), types.NewString("x"), types.NewFloat(1))
+		if r := tn.await(ch); r.Block > maxBlock {
+			maxBlock = r.Block
+		}
+	}
+	// The held node commits (height advances) without sealing.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && held.Height() < int64(maxBlock) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if held.Height() < int64(maxBlock) {
+		t.Fatalf("held node never committed block %d (at %d)", maxBlock, held.Height())
+	}
+	if got := held.SealedHeight(); got != 0 {
+		t.Fatalf("held node sealed height = %d, want 0", got)
+	}
+	want := held.StateHash(int64(maxBlock))
+
+	dir := tn.dataDirs[1]
+	cfg := held.cfg
+	held.crashForTest()
+
+	restarted, err := NewNode(cfg, held.signer, tn.netReg.Clone(), tn.net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Bootstrap(Genesis{Certs: genesisCerts(tn), SQL: testGenesisSQL, Contracts: testContracts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restarted.Stop)
+
+	// The unsealed tail was re-executed and re-sealed during Start.
+	if got := restarted.SealedHeight(); got < int64(maxBlock) {
+		t.Fatalf("recovery sealed up to %d, want at least %d", got, maxBlock)
+	}
+	if got := restarted.StateHash(int64(maxBlock)); got != want {
+		t.Fatal("recovered state differs from pre-crash state")
+	}
+	if got, ref := restarted.StateHash(int64(maxBlock)), tn.nodes[0].StateHash(int64(maxBlock)); got != ref {
+		t.Fatal("recovered state differs from always-up peer")
+	}
+
+	// The missing block-outcome WAL frames were re-derived: every block
+	// up to the crash height must have a frame, and its write hash must
+	// match what the always-up peer checkpointed.
+	recs, err := wal.ReadAll(dir + "/" + cfg.Name + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBlock := make(map[uint64]*wal.BlockRecord)
+	for _, r := range recs {
+		byBlock[r.Block] = r
+	}
+	for b := uint64(1); b <= maxBlock; b++ {
+		if _, ok := byBlock[b]; !ok {
+			t.Fatalf("block %d missing from re-derived WAL", b)
+		}
+	}
+
+	// And the sys_ledger rows exist for the re-sealed tail.
+	res, err := restarted.Query(`SELECT COUNT(*) FROM sys_ledger`)
+	if err != nil || res.Rows[0][0].Int() < 6 {
+		t.Fatalf("re-derived ledger rows = %v, %v", res.Rows, err)
+	}
+}
+
+// TestRecordedIDSetCoherentAcrossRestart proves the in-memory
+// recorded-id set (which replaced the per-transaction sys_ledger lookup)
+// is rebuilt correctly on restart for both backends: ids consumed before
+// the restart are still recognized as duplicates, fresh ids still pass.
+func TestRecordedIDSetCoherentAcrossRestart(t *testing.T) {
+	for _, backend := range []storage.Kind{storage.KindMemory, storage.KindDisk} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			tn := newTestNet(t, netOpts{
+				flow:     OrderThenExecute,
+				backend:  backend,
+				dataDirs: true,
+				cfg:      ordering.Config{BlockSize: 2, BlockTimeout: 20 * time.Millisecond},
+			})
+			var usedIDs []string
+			var maxBlock uint64
+			for i := 0; i < 4; i++ {
+				ch, id := tn.submit("alice", "put_account",
+					types.NewInt(int64(300+i)), types.NewString("x"), types.NewFloat(1))
+				r := tn.await(ch)
+				if !r.Committed {
+					t.Fatalf("setup tx aborted: %s", r.Reason)
+				}
+				usedIDs = append(usedIDs, id)
+				if r.Block > maxBlock {
+					maxBlock = r.Block
+				}
+			}
+			tn.waitHeights(int64(maxBlock))
+
+			node1 := tn.nodes[1]
+			dir := tn.dataDirs[1]
+			cfg := node1.cfg
+			node1.Stop()
+			_ = dir
+
+			restarted, err := NewNode(cfg, node1.signer, tn.netReg.Clone(), tn.net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restarted.Bootstrap(Genesis{Certs: genesisCerts(tn), SQL: testGenesisSQL, Contracts: testContracts}); err != nil {
+				t.Fatal(err)
+			}
+			if err := restarted.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(restarted.Stop)
+
+			// Every pre-restart id must be recognized; with the disk
+			// backend they come back via the sys_ledger rebuild, with the
+			// memory backend via chain re-execution.
+			for _, id := range usedIDs {
+				if !restarted.seenBefore(id) {
+					t.Fatalf("restarted %s node lost recorded id %s", backend, id)
+				}
+			}
+			if restarted.seenBefore("never-used-id") {
+				t.Fatal("recorded-id set contains an id that was never submitted")
+			}
+
+			// End to end: a fresh transaction still commits on the
+			// restarted node (the set is not over-broad) and replicas
+			// stay consistent.
+			ch, _ := tn.submit("alice", "put_account",
+				types.NewInt(399), types.NewString("fresh"), types.NewFloat(1))
+			r := tn.await(ch)
+			if !r.Committed {
+				t.Fatalf("fresh tx aborted after restart: %s", r.Reason)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) &&
+				(restarted.Height() < int64(r.Block) || restarted.SealedHeight() < int64(r.Block)) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if restarted.StateHash(int64(r.Block)) != tn.nodes[0].StateHash(int64(r.Block)) {
+				t.Fatal("restarted node diverged after duplicate-check traffic")
+			}
+		})
+	}
+}
+
+// TestInBlockDuplicateDoesNotRollBackCommit delivers a (malicious)
+// block carrying the same transaction twice. The two entries share one
+// execution record; the commit stage must commit the first, abort the
+// second as a duplicate, and — critically — must not roll back the
+// versions the first entry committed when aborting the second.
+func TestInBlockDuplicateDoesNotRollBackCommit(t *testing.T) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute, nNodes: 1,
+		cfg: ordering.Config{BlockSize: 100, BlockTimeout: time.Hour}})
+	node := tn.nodes[0]
+	all := node.SubscribeAll()
+
+	tx := tn.buildTx("alice", "put_account",
+		[]types.Value{types.NewInt(777), types.NewString("dup"), types.NewFloat(7)}, 0)
+	b := &ledger.Block{
+		Number:    1,
+		PrevHash:  node.BlockStore().LastHash(),
+		Timestamp: time.Now().UnixNano(),
+		Txs:       []*ledger.Transaction{tx, tx},
+	}
+	b.ComputeHash()
+	ord := tn.ordererSigners[0]
+	b.Sigs = []ledger.BlockSig{{Orderer: ord.Name, Signature: ord.Sign(b.Hash[:])}}
+	node.onBlock(simnet.Message{From: ord.Name, To: node.Name(), Kind: ordering.KindBlock, Payload: b.Encode()})
+
+	var committed, dupAborted int
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-all:
+			if r.Committed {
+				committed++
+			} else if r.Reason == "duplicate transaction id" {
+				dupAborted++
+			} else {
+				t.Fatalf("unexpected outcome: %+v", r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for duplicate-block outcomes")
+		}
+	}
+	if committed != 1 || dupAborted != 1 {
+		t.Fatalf("got %d commits, %d duplicate aborts; want 1 and 1", committed, dupAborted)
+	}
+	// The committed insert survived the duplicate's abort path.
+	res, err := node.Query(`SELECT balance FROM accounts WHERE id = 777`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Float() != 7 {
+		t.Fatalf("committed row lost after in-block duplicate: %v, %v", res.Rows, err)
+	}
+}
+
+// buildSignedBlock assembles and signs a block directly (bypassing the
+// ordering service, which dedups transaction ids).
+func (tn *testNet) buildSignedBlock(number uint64, prev ledger.Hash, txs []*ledger.Transaction) *ledger.Block {
+	b := &ledger.Block{Number: number, PrevHash: prev, Timestamp: time.Now().UnixNano(), Txs: txs}
+	b.ComputeHash()
+	ord := tn.ordererSigners[0]
+	b.Sigs = []ledger.BlockSig{{Orderer: ord.Name, Signature: ord.Sign(b.Hash[:])}}
+	return b
+}
+
+// TestHorizonSpanningDuplicateStaysAborted covers recovery's
+// duplicate-id ordering: tx X commits in a block BELOW the storage
+// recovery horizon, its duplicate is aborted in an unsealed block ABOVE
+// it, and the node crashes. Replay re-executes only the tail, so the
+// recorded-id set must be rebuilt from the restored sys_ledger BEFORE
+// the tail replay — otherwise the duplicate re-commits (a transfer has
+// no unique-key conflict to save it) and the replica diverges from its
+// pre-crash state.
+func TestHorizonSpanningDuplicateStaysAborted(t *testing.T) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute, nNodes: 1,
+		backend: storage.KindDisk, dataDirs: true,
+		cfg: ordering.Config{BlockSize: 100, BlockTimeout: time.Hour}})
+	node := tn.nodes[0]
+	ord := tn.ordererSigners[0]
+
+	txX := tn.buildTx("alice", "transfer",
+		[]types.Value{types.NewInt(1), types.NewInt(2), types.NewFloat(5)}, 0)
+	txY := tn.buildTx("bob", "put_account",
+		[]types.Value{types.NewInt(850), types.NewString("y"), types.NewFloat(1)}, 0)
+
+	// Block 1 carries X and seals normally (it ends up below the horizon).
+	b1 := tn.buildSignedBlock(1, node.BlockStore().LastHash(), []*ledger.Transaction{txX})
+	node.onBlock(simnet.Message{From: ord.Name, To: node.Name(), Kind: ordering.KindBlock, Payload: b1.Encode()})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && node.SealedHeight() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if node.SealedHeight() < 1 {
+		t.Fatal("block 1 never sealed")
+	}
+
+	// Park the sealer, then deliver block 2 with X's duplicate: it
+	// commits Y, aborts X as a duplicate, but never seals.
+	node.sealPause.Store(true)
+	b2 := tn.buildSignedBlock(2, b1.Hash, []*ledger.Transaction{txY, txX})
+	node.onBlock(simnet.Message{From: ord.Name, To: node.Name(), Kind: ordering.KindBlock, Payload: b2.Encode()})
+	for time.Now().Before(deadline) && node.Height() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if node.Height() < 2 || node.SealedHeight() != 1 {
+		t.Fatalf("height=%d sealed=%d, want 2 and 1", node.Height(), node.SealedHeight())
+	}
+	want := node.StateHash(2) // balances 95/105: the duplicate moved money once
+
+	cfg := node.cfg
+	node.crashForTest()
+
+	restarted, err := NewNode(cfg, node.signer, tn.netReg.Clone(), tn.net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Bootstrap(Genesis{Certs: genesisCerts(tn), SQL: testGenesisSQL, Contracts: testContracts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restarted.Stop)
+
+	if got := restarted.Height(); got != 2 {
+		t.Fatalf("recovered height = %d, want 2", got)
+	}
+	if got := restarted.StateHash(2); got != want {
+		t.Fatal("replayed duplicate re-committed: recovered state differs from pre-crash state")
+	}
+	res, err := restarted.Query(`SELECT balance FROM accounts WHERE id = 1`)
+	if err != nil || res.Rows[0][0].Float() != 95 {
+		t.Fatalf("account 1 balance = %v, %v (duplicate transfer applied twice?)", res.Rows, err)
+	}
+}
+
+// TestCheckpointPruneableStalledQuorum covers the absolute bookkeeping
+// bound: with a majority of peers down, lastCP never advances, yet
+// entries far enough behind the node's own sealed tip must still be
+// evicted (checkpointLagCap), while recent ones are kept for when the
+// peers return.
+func TestCheckpointPruneableStalledQuorum(t *testing.T) {
+	n := &Node{cfg: Config{Name: "db0", Peers: []string{"db0", "db1"}}}
+	n.ownHashes = map[uint64]ledger.Hash{}
+	n.peerHashes = map[uint64]map[string]ledger.Hash{}
+	n.sealedHeight.Store(checkpointLagCap + 100)
+	// lastCP stuck at 0: no quorum ever formed.
+	if !n.checkpointPruneableLocked(50) {
+		t.Fatal("entry far behind the sealed tip not evicted under a stalled quorum")
+	}
+	if n.checkpointPruneableLocked(checkpointLagCap + 90) {
+		t.Fatal("recent entry evicted — laggard comparison window lost")
+	}
+	// Below the cap nothing is evicted without a quorum.
+	n.sealedHeight.Store(100)
+	if n.checkpointPruneableLocked(50) {
+		t.Fatal("entry evicted while within the lag cap and no quorum passed")
+	}
+}
+
+// TestSealMetricsExposed checks the pipeline's observability: seal
+// counters advance and the queue gauge returns to zero at quiescence.
+func TestSealMetricsExposed(t *testing.T) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute,
+		cfg: ordering.Config{BlockSize: 2, BlockTimeout: 20 * time.Millisecond}})
+	maxBlock := driveMixedTraffic(t, tn, 200, 6)
+	tn.waitHeights(int64(maxBlock))
+	m := tn.nodes[0].Metrics()
+	if m.BlocksSealed.Load() == 0 || m.BlockSealNanos.Load() == 0 {
+		t.Fatalf("seal metrics not populated: sealed=%d nanos=%d",
+			m.BlocksSealed.Load(), m.BlockSealNanos.Load())
+	}
+	if d := m.SealQueueDepth.Load(); d != 0 {
+		t.Fatalf("seal queue depth = %d after quiescence, want 0", d)
+	}
+	if got, want := tn.nodes[0].SealedHeight(), tn.nodes[0].Height(); got < want {
+		// waitHeights already waited for the seal; the gauge must agree.
+		t.Fatalf("sealed height %d behind committed height %d after wait", got, want)
+	}
+}
+
+// TestCheckpointBookkeepingPruned proves the ownHashes/peerHashes maps
+// stay bounded: once the checkpoint quorum advances and every peer has
+// reported, entries are pruned instead of leaking one per block forever.
+func TestCheckpointBookkeepingPruned(t *testing.T) {
+	tn := newTestNet(t, netOpts{flow: OrderThenExecute,
+		cfg: ordering.Config{BlockSize: 2, BlockTimeout: 20 * time.Millisecond}})
+	maxBlock := driveMixedTraffic(t, tn, 500, 16)
+	tn.waitHeights(int64(maxBlock))
+
+	// Push follow-up traffic until the quorum covers maxBlock, then
+	// check the maps hold only the small in-flight window.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && tn.nodes[0].LastCheckpoint() < maxBlock {
+		ch, _ := tn.submit("alice", "put_account",
+			types.NewInt(600+int64(time.Now().UnixNano()%100000)), types.NewString("f"), types.NewFloat(1))
+		tn.await(ch)
+	}
+	n := tn.nodes[0]
+	n.cpMu.Lock()
+	own, peers := len(n.ownHashes), len(n.peerHashes)
+	last := n.lastCP
+	n.cpMu.Unlock()
+	if last < maxBlock {
+		t.Fatalf("checkpoint quorum stalled at %d", last)
+	}
+	// Everything fully compared below lastCP is pruned; only the tail
+	// where some peer checkpoint is still in flight may remain.
+	if own > 8 || peers > 8 {
+		t.Fatalf("checkpoint bookkeeping not pruned: %d own, %d peer entries after %d blocks",
+			own, peers, last)
+	}
+}

@@ -1,392 +1,31 @@
+// Block processing is organized as a three-stage pipeline — see
+// pipeline.go (orchestration and the sealer), stage_execute.go,
+// stage_commit.go and stage_seal.go. This file keeps what sits outside
+// the per-block stages: checkpoint collection and evaluation (§3.3.4)
+// and crash recovery (§3.6).
+
 package core
 
 import (
-	"crypto/sha256"
 	"fmt"
-	"time"
 
-	"bcrdb/internal/codec"
-	"bcrdb/internal/engine"
 	"bcrdb/internal/ledger"
-	"bcrdb/internal/ordering"
 	"bcrdb/internal/simnet"
-	"bcrdb/internal/ssi"
-	"bcrdb/internal/storage"
-	"bcrdb/internal/types"
 	"bcrdb/internal/wal"
 )
-
-// ensureExecution starts (or joins) the execution of a transaction at
-// the given snapshot height. It returns the execution and whether it was
-// freshly started by this call.
-func (n *Node) ensureExecution(tx *ledger.Transaction, snapshot int64) (*execution, bool) {
-	n.execMu.Lock()
-	if e, ok := n.executing[tx.ID]; ok {
-		n.execMu.Unlock()
-		return e, false
-	}
-	e := &execution{
-		tx:     tx,
-		cancel: make(chan struct{}),
-		done:   make(chan struct{}),
-	}
-	n.executing[tx.ID] = e
-	n.execMu.Unlock()
-	go n.runExecution(e, snapshot)
-	return e, true
-}
-
-// runExecution performs the execution phase of §3.3.2 / §3.4.1: wait for
-// the snapshot to exist, authenticate, run the contract with full
-// read/write tracking, then park until the block processor signals the
-// commit turn (by reading e.rec after e.done).
-func (n *Node) runExecution(e *execution, snapshot int64) {
-	defer close(e.done)
-	start := time.Now()
-	defer func() {
-		e.ran = time.Since(start)
-		n.metrics.TxExecNanos.Add(int64(e.ran))
-		n.metrics.TxExecCount.Add(1)
-	}()
-
-	if err := n.waitForHeight(snapshot, e.cancel); err != nil {
-		e.err = err
-		return
-	}
-	// Authenticate against certificates visible at the snapshot height —
-	// identical on every node (§3.3.2 step 2).
-	if err := n.authenticate(e.tx, snapshot); err != nil {
-		e.err = err
-		return
-	}
-	rec := storage.NewTxRecord(n.store.BeginTx(), snapshot)
-	e.rec = rec
-	ctx := &engine.ExecCtx{
-		Mode:         engine.ModeContract,
-		Rec:          rec,
-		Height:       snapshot,
-		RequireIndex: n.cfg.Flow == ExecuteOrder,
-		User:         e.tx.Username,
-	}
-	res, err := n.interp.Call(ctx, e.tx.Contract, e.tx.Args)
-	if err != nil {
-		e.err = err
-		return
-	}
-	e.result = res
-}
-
-// cancelExecution abandons an execution stuck waiting for an impossible
-// snapshot height.
-func (n *Node) cancelExecution(e *execution) {
-	close(e.cancel)
-	n.heightCond.Broadcast()
-	<-e.done
-}
-
-// processLoop drains sequenced blocks.
-func (n *Node) processLoop() {
-	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopped:
-			return
-		case b := <-n.blockCh:
-			if b == nil {
-				return
-			}
-			start := time.Now()
-			n.processBlock(b, false)
-			n.metrics.BusyNanos.Add(int64(time.Since(start)))
-		}
-	}
-}
-
-// processBlock runs the execution and commit phases for one block
-// (§3.3.2–§3.3.4 / §3.4). replay suppresses externally visible effects
-// (checkpoint submission, notifications) during §3.6 recovery.
-func (n *Node) processBlock(b *ledger.Block, replay bool) {
-	if int64(b.Number) <= n.store.Height() {
-		// Already reflected in the store: a disk-backed restart restored
-		// state ahead of the (unsynced) block store tail, and catch-up is
-		// refilling the chain. Re-applying would double-commit.
-		return
-	}
-	t0 := time.Now()
-	n.collectCheckpoints(b, replay)
-
-	// --- execution phase -----------------------------------------------------
-	execs := make([]*execution, len(b.Txs))
-	blockSnapshot := int64(b.Number) - 1
-	for i, tx := range b.Txs {
-		snapshot := blockSnapshot
-		if n.cfg.Flow == ExecuteOrder {
-			snapshot = tx.Snapshot
-		}
-		if snapshot >= int64(b.Number) {
-			// Snapshot at or above this block can never be satisfied:
-			// fail deterministically without waiting.
-			e := &execution{tx: tx, err: fmt.Errorf("invalid snapshot %d for block %d", snapshot, b.Number),
-				cancel: make(chan struct{}), done: make(chan struct{})}
-			close(e.done)
-			// If a forwarded copy is already waiting on that height,
-			// abandon it.
-			n.execMu.Lock()
-			if running, ok := n.executing[tx.ID]; ok {
-				n.execMu.Unlock()
-				n.cancelExecution(running)
-				n.execMu.Lock()
-			}
-			n.executing[tx.ID] = e
-			n.execMu.Unlock()
-			execs[i] = e
-			continue
-		}
-		e, started := n.ensureExecution(tx, snapshot)
-		if started {
-			if n.cfg.Flow == ExecuteOrder && !replay {
-				// The committer had to start a missing transaction
-				// itself (§3.4.3, the mt metric).
-				n.metrics.MissingTxs.Add(1)
-			}
-		}
-		execs[i] = e
-		if n.cfg.SerialExecution {
-			<-e.done // Ethereum-style: one at a time (§5.1)
-		}
-	}
-	for _, e := range execs {
-		<-e.done
-	}
-	bet := time.Since(t0)
-
-	// --- commit phase ----------------------------------------------------------
-	tCommit := time.Now()
-	infos := make([]*ssi.TxInfo, len(execs))
-	for i, e := range execs {
-		infos[i] = n.txInfo(i, e)
-	}
-	mode := ssi.OrderThenExecute
-	if n.cfg.Flow == ExecuteOrder {
-		mode = ssi.ExecuteOrderParallel
-	}
-	analysis := ssi.NewAnalysis(mode, infos)
-
-	outcomes := make([]wal.TxOutcome, len(execs))
-	results := make([]TxResult, len(execs))
-	var committedRecs []*storage.TxRecord
-	var committedTxs []*ledger.Transaction
-
-	for i, e := range execs {
-		reason := ""
-		switch {
-		case e.err != nil:
-			reason = "execution: " + e.err.Error()
-		case n.isDuplicate(e.tx.ID, int64(b.Number)-1):
-			reason = "duplicate transaction id"
-		default:
-			if r := analysis.ShouldAbort(i); r != ssi.ReasonNone {
-				reason = string(r)
-			} else if err := n.store.Validate(e.rec, int64(b.Number)); err != nil {
-				reason = err.Error()
-			}
-		}
-		if reason == "" {
-			n.store.CommitTx(e.rec, int64(b.Number))
-			analysis.MarkCommitted(i)
-			committedRecs = append(committedRecs, e.rec)
-			committedTxs = append(committedTxs, e.tx)
-			n.metrics.TxCommitted.Add(1)
-			n.recordHistory(b, i, e, infos[i])
-		} else {
-			if e.rec != nil {
-				n.store.AbortTx(e.rec)
-			}
-			analysis.MarkAborted(i)
-			n.metrics.TxAborted.Add(1)
-		}
-		outcomes[i] = wal.TxOutcome{ID: e.tx.ID, Committed: reason == "", Reason: reason}
-		results[i] = TxResult{ID: e.tx.ID, Block: b.Number, Committed: reason == "",
-			Reason: reason, clientEndpoint: e.tx.Username}
-	}
-
-	// Record every transaction in the ledger table (§3.3.2 step 1 +
-	// §3.3.3 status recording), as one atomic system transaction.
-	n.appendLedgerRows(b, execs, outcomes)
-
-	// Release execution slots.
-	n.execMu.Lock()
-	for _, e := range execs {
-		if cur, ok := n.executing[e.tx.ID]; ok && cur == e {
-			delete(n.executing, e.tx.ID)
-		}
-	}
-	n.execMu.Unlock()
-
-	// The block is now fully committed.
-	n.bumpHeight(int64(b.Number))
-	bpt := time.Since(t0)
-	n.metrics.BlocksProcessed.Add(1)
-	n.metrics.BlockProcessNanos.Add(int64(bpt))
-	n.metrics.BlockExecNanos.Add(int64(bet))
-	n.metrics.BlockCommitNanos.Add(int64(time.Since(tCommit)))
-
-	// --- checkpointing phase (§3.3.4) -------------------------------------------
-	writeHash := writeSetHash(n.store, committedTxs, committedRecs)
-	n.cpMu.Lock()
-	n.ownHashes[b.Number] = writeHash
-	n.cpMu.Unlock()
-	n.evaluateCheckpoint(b.Number)
-
-	if n.log != nil && !replay {
-		_ = n.log.Append(&wal.BlockRecord{Block: b.Number, Outcomes: outcomes, WriteHash: writeHash})
-	}
-	if !replay && b.Number%n.cfg.CheckpointEvery == 0 {
-		cp := &ledger.Checkpoint{Peer: n.cfg.Name, Block: b.Number, WriteHash: writeHash}
-		cp.Signature = n.signer.Sign(cp.SignBytes())
-		payload := ledger.MarshalCheckpoint(cp)
-		for _, o := range n.cfg.Orderers {
-			_ = n.ep.Send(o, ordering.KindCheckpoint, payload)
-		}
-	}
-	for _, r := range results {
-		n.notify(r, replay)
-	}
-}
-
-// recordHistory appends a committed transaction to the serializability
-// audit trail, when enabled.
-func (n *Node) recordHistory(b *ledger.Block, seq int, e *execution, info *ssi.TxInfo) {
-	n.histMu.Lock()
-	defer n.histMu.Unlock()
-	if !n.retainHist || e.rec == nil {
-		return
-	}
-	ct := &ssi.CommittedTx{
-		Name:           e.tx.ID,
-		Block:          int64(b.Number),
-		Seq:            seq,
-		SnapshotHeight: e.rec.SnapshotHeight,
-		ReadRows:       e.rec.ReadRows,
-		ReadRanges:     e.rec.ReadRanges,
-		WrittenOld:     info.WrittenOld,
-		InsertedRefs:   append([]storage.ItemRef(nil), e.rec.Inserted...),
-		InsertedKeys:   info.InsertedKeys,
-	}
-	n.history = append(n.history, ct)
-}
-
-// txInfo converts an execution into the SSI analysis input.
-func (n *Node) txInfo(seq int, e *execution) *ssi.TxInfo {
-	info := &ssi.TxInfo{
-		Seq:        seq,
-		ReadRows:   map[storage.ItemRef]struct{}{},
-		WrittenOld: map[storage.ItemRef]struct{}{},
-	}
-	if e.rec == nil || e.err != nil {
-		return info
-	}
-	info.SnapshotHeight = e.rec.SnapshotHeight
-	info.ReadRows = e.rec.ReadRows
-	info.ReadRanges = e.rec.ReadRanges
-	for _, ir := range e.rec.DeletedOld {
-		info.WrittenOld[ir] = struct{}{}
-	}
-	for _, ir := range e.rec.Inserted {
-		for ixName, key := range n.store.IndexKeys(ir.Table, ir.Ref) {
-			info.InsertedKeys = append(info.InsertedKeys, ssi.KeyAt{
-				Table: ir.Table, Index: ixName, Key: key,
-			})
-		}
-	}
-	return info
-}
-
-// isDuplicate checks the ledger table for a previously recorded id
-// (§3.4.3: the unique-identifier rule).
-func (n *Node) isDuplicate(txID string, height int64) bool {
-	res, err := n.QueryAt(height, `SELECT txid FROM sys_ledger WHERE txid = $1`,
-		types.NewString(txID))
-	return err == nil && len(res.Rows) > 0
-}
-
-// appendLedgerRows records all block transactions and their statuses in
-// sys_ledger atomically (the paper's pgLedger, §4.2).
-func (n *Node) appendLedgerRows(b *ledger.Block, execs []*execution, outcomes []wal.TxOutcome) {
-	rec := storage.NewTxRecord(n.store.BeginTx(), int64(b.Number)-1)
-	ctx := &engine.ExecCtx{Mode: engine.ModeSystem, Height: int64(b.Number) - 1, Rec: rec}
-	for i, e := range execs {
-		status := "aborted"
-		if outcomes[i].Committed {
-			status = "committed"
-		}
-		var xid int64
-		if e.rec != nil {
-			xid = int64(e.rec.ID)
-		}
-		sub := *ctx
-		sub.Params = []types.Value{
-			types.NewString(e.tx.ID),
-			types.NewInt(int64(b.Number)),
-			types.NewInt(int64(i)),
-			types.NewString(e.tx.Username),
-			types.NewString(e.tx.Contract),
-			types.NewString(argsString(e.tx.Args)),
-			types.NewString(status),
-			types.NewInt(b.Timestamp),
-			types.NewInt(xid),
-		}
-		if _, err := n.eng.ExecSQL(&sub, `INSERT INTO sys_ledger
-			(txid, block, seq, username, contract, args, status, commit_time, local_xid)
-			VALUES ($1, $2, $3, $4, $5, $6, $7, $8, $9)`); err != nil {
-			// A duplicate id in a malicious block: record only the first.
-			continue
-		}
-	}
-	n.store.CommitTx(rec, int64(b.Number))
-}
-
-// writeSetHash digests the union of all changes a block committed
-// (§3.3.4): per committed transaction in block order, every inserted row
-// and every superseded row's primary key.
-func writeSetHash(st storage.Backend, txs []*ledger.Transaction, recs []*storage.TxRecord) ledger.Hash {
-	h := sha256.New()
-	for i, rec := range recs {
-		e := codec.NewBuf(256)
-		e.String(txs[i].ID)
-		for _, ir := range rec.Inserted {
-			v := st.Get(ir.Table, ir.Ref)
-			if v == nil {
-				continue
-			}
-			e.String(ir.Table)
-			e.Row(v.Data)
-		}
-		for _, ir := range rec.DeletedOld {
-			v := st.Get(ir.Table, ir.Ref)
-			if v == nil {
-				continue
-			}
-			t, err := st.Table(ir.Table)
-			if err != nil {
-				continue
-			}
-			sch := t.Schema()
-			e.String("-" + ir.Table)
-			e.Row(types.Row(sch.PKKey(v.Data)))
-		}
-		h.Write(e.Bytes())
-	}
-	var out ledger.Hash
-	copy(out[:], h.Sum(nil))
-	return out
-}
 
 // collectCheckpoints verifies and stores the peer checkpoints riding in a
 // block (§3.3.4), comparing them with our own hashes.
 func (n *Node) collectCheckpoints(b *ledger.Block, replay bool) {
 	for _, cp := range b.Checkpoints {
 		if err := n.netReg.VerifyBy(cp.Peer, cp.SignBytes(), cp.Signature); err != nil {
+			continue
+		}
+		// Reject checkpoints absurdly ahead of our own chain: a Byzantine
+		// peer signing arbitrary block numbers must not be able to grow
+		// peerHashes without bound (entries above our tip are otherwise
+		// retained until we seal that block).
+		if cp.Block > n.blocks.Height()+checkpointLagCap {
 			continue
 		}
 		n.cpMu.Lock()
@@ -401,9 +40,25 @@ func (n *Node) collectCheckpoints(b *ledger.Block, replay bool) {
 	}
 }
 
+// checkpointRetention is how many blocks behind the quorum point a
+// not-yet-fully-compared checkpoint entry is retained, so a lagging
+// peer's (possibly divergent) checkpoint can still be compared and
+// alerted on. Entries older than this are evicted unconditionally,
+// which bounds the bookkeeping even when a peer is permanently down.
+const checkpointRetention = 128
+
+// checkpointLagCap is the absolute bound: entries further than this
+// behind the node's own sealed tip are evicted even when no quorum ever
+// forms (e.g. a majority of peers down, so lastCP cannot advance and the
+// retention rule above never fires). Divergence from a peer lagging more
+// than this goes undetected — the memory bound wins.
+const checkpointLagCap = 4096
+
 // evaluateCheckpoint records a checkpoint when a majority of peers agree
 // with our hash, and raises alerts for divergent peers (§3.5 properties
-// 3 and 5).
+// 3 and 5). Quorum-passed bookkeeping is pruned once every peer's hash
+// has been compared (or the retention window is exceeded) — without
+// pruning, every block would leak one map entry per peer forever.
 func (n *Node) evaluateCheckpoint(block uint64) {
 	n.cpMu.Lock()
 	defer n.cpMu.Unlock()
@@ -437,6 +92,56 @@ func (n *Node) evaluateCheckpoint(block uint64) {
 	}
 }
 
+// pruneCheckpoints drops finished checkpoint bookkeeping. The seal stage
+// calls it once per block — off the commit-critical path — rather than
+// on every evaluateCheckpoint, which runs per peer checkpoint inside
+// block intake.
+func (n *Node) pruneCheckpoints() {
+	n.cpMu.Lock()
+	n.pruneCheckpointsLocked()
+	n.cpMu.Unlock()
+}
+
+// pruneCheckpointsLocked drops checkpoint bookkeeping that can no longer
+// change anything. Caller holds cpMu.
+func (n *Node) pruneCheckpointsLocked() {
+	for blk := range n.peerHashes {
+		if n.checkpointPruneableLocked(blk) {
+			delete(n.ownHashes, blk)
+			delete(n.peerHashes, blk)
+		}
+	}
+	for blk := range n.ownHashes {
+		if n.checkpointPruneableLocked(blk) {
+			delete(n.ownHashes, blk)
+			delete(n.peerHashes, blk)
+		}
+	}
+}
+
+// checkpointPruneableLocked reports whether block blk's checkpoint entry
+// is finished: far enough behind our own sealed tip that no comparison
+// is worth waiting for, or at/below the quorum point and either compared
+// against every peer already or older than the laggard retention window.
+func (n *Node) checkpointPruneableLocked(blk uint64) bool {
+	if sealed := n.sealedHeight.Load(); sealed > checkpointLagCap && blk <= uint64(sealed)-checkpointLagCap {
+		return true
+	}
+	if blk > n.lastCP {
+		return false
+	}
+	if blk+checkpointRetention <= n.lastCP {
+		return true
+	}
+	others := 0
+	for peer := range n.peerHashes[blk] {
+		if peer != n.cfg.Name {
+			others++
+		}
+	}
+	return others >= len(n.cfg.Peers)-1
+}
+
 // --- recovery (§3.6) ----------------------------------------------------------
 
 // recoverLocal rebuilds state after a restart. With the memory backend
@@ -449,9 +154,18 @@ func (n *Node) evaluateCheckpoint(block uint64) {
 // WAL cross-checks every re-executed outcome (a mismatch means the block
 // store or log was tampered with), and a torn WAL tail — the crash cases
 // of §3.6 — is simply re-processed.
+//
+// Replay drives the same Execute → Commit → Seal stages as live
+// processing, but synchronously (the sealer is not running yet), so a
+// node killed with committed-but-unsealed blocks re-derives the missing
+// seal artifacts — sys_ledger rows, write-set hashes, block-outcome WAL
+// frames — deterministically during the tail re-execution.
 func (n *Node) recoverLocal() error {
 	height := n.blocks.Height()
 	restored := n.store.Height() // >0 only when the disk backend replayed state
+	defer func() {
+		n.sealedHeight.Store(n.store.Height())
+	}()
 	if height == 0 && restored == 0 {
 		return nil
 	}
@@ -466,6 +180,13 @@ func (n *Node) recoverLocal() error {
 	byBlock := make(map[uint64]*wal.BlockRecord, len(walRecs))
 	for _, r := range walRecs {
 		byBlock[r.Block] = r
+	}
+	if restored > 0 {
+		// Load the restored prefix's recorded transaction ids BEFORE
+		// re-executing the tail: duplicate-id decisions during replay must
+		// see ids consumed below the horizon, or a duplicate that was
+		// aborted pre-crash would re-commit and diverge from the WAL.
+		n.rebuildSeen()
 	}
 	for i := uint64(1); i <= height; i++ {
 		if int64(i) <= restored {
@@ -484,22 +205,25 @@ func (n *Node) recoverLocal() error {
 			return err
 		}
 		n.processBlock(b, true)
+		n.cpMu.Lock()
+		own := n.lastSealedHash
+		outcomes := n.lastSealedOutcomes
+		n.cpMu.Unlock()
 		if rec, ok := byBlock[i]; ok {
-			n.cpMu.Lock()
-			own := n.ownHashes[i]
-			n.cpMu.Unlock()
 			if own != ledger.Hash(rec.WriteHash) {
 				return fmt.Errorf("core: recovery mismatch at block %d: replay disagrees with WAL", i)
 			}
 		} else if n.log != nil {
 			// The crash hit before the WAL frame was written (§3.6 case
-			// b): append the re-derived outcome now.
-			n.cpMu.Lock()
-			own := n.ownHashes[i]
-			n.cpMu.Unlock()
-			_ = n.log.Append(&wal.BlockRecord{Block: i, WriteHash: own})
+			// b, which includes blocks committed but not yet sealed):
+			// append the re-derived outcome now.
+			_ = n.log.Append(&wal.BlockRecord{Block: i, Outcomes: outcomes, WriteHash: own})
 		}
 	}
+	// The restored-prefix loop above adopts one hash per block without
+	// sealing (which is where pruning normally runs); drop what is
+	// already finished so a long restored chain does not linger in memory.
+	n.pruneCheckpoints()
 	return nil
 }
 

@@ -128,8 +128,10 @@ func TestSerialOrderMatchesInvariant(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		from := int64(i%3 + 1)
 		to := from%3 + 1
+		// Unique fractional amounts keep every transaction id distinct
+		// (the ordering service drops duplicate ids).
 		ch, _ := tn.submit([]string{"alice", "bob", "carol"}[i%3], "transfer",
-			types.NewInt(from), types.NewInt(to), types.NewFloat(float64(i%4+1)))
+			types.NewInt(from), types.NewInt(to), types.NewFloat(float64(i%4+1)+float64(i)/100))
 		waits = append(waits, ch)
 	}
 	var maxBlock uint64

@@ -1,0 +1,196 @@
+// Stage 2 — Commit: SSI analysis and commit-turn validation strictly in
+// block order (§3.3.3 / §3.4.1, Table 2), ending at bumpHeight. This is
+// the serialization point of the pipeline: once the height is bumped,
+// the next block's executions proceed while this block's seal runs in
+// the background. See pipeline.go for the stage overview.
+
+package core
+
+import (
+	"time"
+
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ssi"
+	"bcrdb/internal/storage"
+	"bcrdb/internal/wal"
+)
+
+// commitStage validates and commits the executed transactions in block
+// order and advances the committed height. It returns the seal task
+// carrying everything stage 3 needs, so the bookkeeping can leave the
+// critical path.
+func (n *Node) commitStage(b *ledger.Block, execs []*execution, replay bool, t0 time.Time) *sealTask {
+	bet := time.Since(t0)
+	tCommit := time.Now()
+	infos := make([]*ssi.TxInfo, len(execs))
+	for i, e := range execs {
+		infos[i] = n.txInfo(i, e)
+	}
+	mode := ssi.OrderThenExecute
+	if n.cfg.Flow == ExecuteOrder {
+		mode = ssi.ExecuteOrderParallel
+	}
+	analysis := ssi.NewAnalysis(mode, infos)
+
+	outcomes := make([]wal.TxOutcome, len(execs))
+	results := make([]TxResult, len(execs))
+	var committedRecs []*storage.TxRecord
+	var committedTxs []*ledger.Transaction
+
+	for i, e := range execs {
+		reason := ""
+		switch {
+		case e.err != nil:
+			reason = "execution: " + e.err.Error()
+		case n.seenBefore(e.tx.ID):
+			reason = "duplicate transaction id"
+		default:
+			if r := analysis.ShouldAbort(i); r != ssi.ReasonNone {
+				reason = string(r)
+			} else if err := n.store.Validate(e.rec, int64(b.Number)); err != nil {
+				reason = err.Error()
+			}
+		}
+		if reason == "" {
+			n.store.CommitTx(e.rec, int64(b.Number))
+			analysis.MarkCommitted(i)
+			committedRecs = append(committedRecs, e.rec)
+			committedTxs = append(committedTxs, e.tx)
+			n.metrics.TxCommitted.Add(1)
+			n.recordHistory(b, i, e, infos[i])
+		} else {
+			if e.rec != nil {
+				// A malicious block can carry the same transaction twice;
+				// both entries then share one execution record, and the
+				// second must not roll back versions the first committed.
+				if ok, _ := n.store.IsCommitted(e.rec.ID); !ok {
+					n.store.AbortTx(e.rec)
+				}
+			}
+			analysis.MarkAborted(i)
+			n.metrics.TxAborted.Add(1)
+		}
+		// The id is consumed whether the transaction committed or
+		// aborted — sys_ledger records both (§3.4.3, the
+		// unique-identifier rule).
+		n.markSeen(e.tx.ID)
+		outcomes[i] = wal.TxOutcome{ID: e.tx.ID, Committed: reason == "", Reason: reason}
+		results[i] = TxResult{ID: e.tx.ID, Block: b.Number, Committed: reason == "",
+			Reason: reason, clientEndpoint: e.tx.Username}
+	}
+
+	// Release execution slots.
+	n.execMu.Lock()
+	for _, e := range execs {
+		if cur, ok := n.executing[e.tx.ID]; ok && cur == e {
+			delete(n.executing, e.tx.ID)
+		}
+	}
+	n.execMu.Unlock()
+
+	// The block is now fully committed: block N+1 may execute.
+	n.bumpHeight(int64(b.Number))
+	bpt := time.Since(t0)
+	n.metrics.BlocksProcessed.Add(1)
+	n.metrics.BlockProcessNanos.Add(int64(bpt))
+	n.metrics.BlockExecNanos.Add(int64(bet))
+	n.metrics.BlockCommitNanos.Add(int64(time.Since(tCommit)))
+
+	return &sealTask{
+		block:         b,
+		execs:         execs,
+		outcomes:      outcomes,
+		results:       results,
+		committedTxs:  committedTxs,
+		committedRecs: committedRecs,
+		replay:        replay,
+	}
+}
+
+// recordHistory appends a committed transaction to the serializability
+// audit trail, when enabled.
+func (n *Node) recordHistory(b *ledger.Block, seq int, e *execution, info *ssi.TxInfo) {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	if !n.retainHist || e.rec == nil {
+		return
+	}
+	ct := &ssi.CommittedTx{
+		Name:           e.tx.ID,
+		Block:          int64(b.Number),
+		Seq:            seq,
+		SnapshotHeight: e.rec.SnapshotHeight,
+		ReadRows:       e.rec.ReadRows,
+		ReadRanges:     e.rec.ReadRanges,
+		WrittenOld:     info.WrittenOld,
+		InsertedRefs:   append([]storage.ItemRef(nil), e.rec.Inserted...),
+		InsertedKeys:   info.InsertedKeys,
+	}
+	n.history = append(n.history, ct)
+}
+
+// txInfo converts an execution into the SSI analysis input.
+func (n *Node) txInfo(seq int, e *execution) *ssi.TxInfo {
+	info := &ssi.TxInfo{
+		Seq:        seq,
+		ReadRows:   map[storage.ItemRef]struct{}{},
+		WrittenOld: map[storage.ItemRef]struct{}{},
+	}
+	if e.rec == nil || e.err != nil {
+		return info
+	}
+	info.SnapshotHeight = e.rec.SnapshotHeight
+	info.ReadRows = e.rec.ReadRows
+	info.ReadRanges = e.rec.ReadRanges
+	for _, ir := range e.rec.DeletedOld {
+		info.WrittenOld[ir] = struct{}{}
+	}
+	for _, ir := range e.rec.Inserted {
+		for ixName, key := range n.store.IndexKeys(ir.Table, ir.Ref) {
+			info.InsertedKeys = append(info.InsertedKeys, ssi.KeyAt{
+				Table: ir.Table, Index: ixName, Key: key,
+			})
+		}
+	}
+	return info
+}
+
+// --- recorded-id set (§3.4.3 unique-identifier rule) ---------------------------
+
+// seenBefore reports whether a transaction id was already recorded in
+// the ledger. The check used to be a per-transaction `SELECT txid FROM
+// sys_ledger WHERE txid = $1`; the in-memory set gives the same answer
+// without a SQL round trip on the commit critical path, and — unlike the
+// query, which only saw rows sealed at or below the previous height —
+// stays exact while the previous block's sys_ledger rows are still being
+// sealed in the background.
+func (n *Node) seenBefore(txID string) bool {
+	n.seenMu.Lock()
+	_, ok := n.seenTx[txID]
+	n.seenMu.Unlock()
+	return ok
+}
+
+// markSeen records a transaction id as consumed.
+func (n *Node) markSeen(txID string) {
+	n.seenMu.Lock()
+	n.seenTx[txID] = struct{}{}
+	n.seenMu.Unlock()
+}
+
+// rebuildSeen reloads the recorded-id set from sys_ledger. Recovery
+// calls it after a disk-backed restart, where the restored prefix was
+// never re-executed: the ids of those blocks' transactions exist only in
+// the restored table. Re-executed blocks repopulate the set through
+// commitStage on their own.
+func (n *Node) rebuildSeen() {
+	res, err := n.Query(`SELECT txid FROM sys_ledger`)
+	if err != nil {
+		return
+	}
+	n.seenMu.Lock()
+	for _, row := range res.Rows {
+		n.seenTx[row[0].Str()] = struct{}{}
+	}
+	n.seenMu.Unlock()
+}

@@ -147,7 +147,11 @@ func (e *Engine) checkWriteClass(ctx *ExecCtx, table string) error {
 }
 
 // checkReadClass forbids contracts from reading node-private tables —
-// their contents differ per node and would break determinism.
+// their contents differ per node and would break determinism. sys_ledger
+// is equally off-limits to contracts: it carries node-local xids, and its
+// rows are sealed asynchronously behind the committed height (the block
+// pipeline's seal stage), so its contents at a snapshot depend on per-node
+// seal lag. Read-only queries outside contracts may join it freely.
 func (e *Engine) checkReadClass(ctx *ExecCtx, table string) error {
 	if ctx.Mode != ModeContract {
 		return nil
@@ -158,6 +162,9 @@ func (e *Engine) checkReadClass(ctx *ExecCtx, table string) error {
 	}
 	if t.Schema().Class == storage.ClassPrivate {
 		return fmt.Errorf("%w: contract read of private table %q", ErrSchemaClass, table)
+	}
+	if table == "sys_ledger" {
+		return fmt.Errorf("%w: contract read of %q (node bookkeeping, sealed asynchronously)", ErrSchemaClass, table)
 	}
 	return nil
 }

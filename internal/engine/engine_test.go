@@ -686,3 +686,25 @@ func TestComplexGroupContractShape(t *testing.T) {
 		t.Fatalf("winner = %v", rowsToStrings(res))
 	}
 }
+
+// TestContractCannotReadSysLedger: the ledger table is node bookkeeping —
+// it carries node-local xids and, with the pipelined block processor, its
+// rows are sealed asynchronously behind the committed height — so a
+// contract reading it would diverge across replicas. The engine must
+// reject the read deterministically (read-only queries outside contracts
+// stay allowed).
+func TestContractCannotReadSysLedger(t *testing.T) {
+	h := newHarness(t)
+	ctx := &ExecCtx{Mode: ModeSystem, Height: 0, SystemDDL: true,
+		Rec: storage.NewTxRecord(h.st.BeginTx(), 0)}
+	if _, err := h.eng.ExecSQL(ctx, `CREATE TABLE sys_ledger (txid TEXT PRIMARY KEY, block BIGINT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.tryExec(`SELECT txid FROM sys_ledger`); !errors.Is(err, ErrSchemaClass) {
+		t.Fatalf("contract read of sys_ledger: err = %v, want ErrSchemaClass", err)
+	}
+	ro := &ExecCtx{Mode: ModeReadOnly, Height: h.block}
+	if _, err := h.eng.ExecSQL(ro, `SELECT txid FROM sys_ledger`); err != nil {
+		t.Fatalf("read-only query of sys_ledger must stay allowed: %v", err)
+	}
+}

@@ -38,7 +38,17 @@ type Backend interface {
 	// --- chain height and transaction status ----------------------------
 
 	Height() int64
+	// SetHeight records that all blocks up to h are committed in memory.
+	// It is the visibility bump the block processor's commit stage issues
+	// so the next block's executions can proceed; it makes no durability
+	// promise (see MarkDurable).
 	SetHeight(h int64)
+	// MarkDurable is the durability point for everything committed at or
+	// below block h: the seal stage calls it once per block, off the
+	// commit critical path. Volatile backends treat it as a no-op; the
+	// disk backend appends a height frame and fsyncs, flushing every
+	// preceding commit frame of the block with it.
+	MarkDurable(h int64)
 	BeginTx() TxID
 	IsCommitted(id TxID) (bool, int64)
 
@@ -123,3 +133,7 @@ func (s *Store) Close() error { return nil }
 // Checkpoint implements Backend for the in-memory store: volatile state
 // has no durable representation to compact.
 func (s *Store) Checkpoint() error { return nil }
+
+// MarkDurable implements Backend for the in-memory store: volatile state
+// has no durability point.
+func (s *Store) MarkDurable(h int64) {}

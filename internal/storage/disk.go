@@ -17,12 +17,15 @@ import (
 // committed state by replaying the log.
 //
 // Durability contract: a block is durable once its height frame has been
-// fsynced (SetHeight syncs, flushing all preceding commit frames of that
-// block with it). Commit frames beyond the last durable height frame —
-// a crash mid-block — are dropped at replay and the block is simply
+// fsynced (MarkDurable syncs, flushing all preceding commit frames of
+// that block with it). SetHeight only bumps the in-memory height — the
+// commit stage of the block pipeline calls it so the next block can
+// proceed, while the seal stage calls MarkDurable off the critical path.
+// Commit frames beyond the last durable height frame — a crash before the
+// block was sealed — are dropped at replay and the block is simply
 // re-processed from the block store, exactly like the §3.6 recovery
 // cases. Private-schema transactions (§3.7) become durable at the next
-// block boundary or Close, whichever comes first.
+// sealed block boundary or Close, whichever comes first.
 type DiskStore struct {
 	*Store // in-memory working state; reads and provisional writes pass through
 
@@ -320,34 +323,24 @@ func (d *DiskStore) SetHashExempt(table string) {
 }
 
 // CommitTx commits in memory and logs the transaction's surviving
-// effects: every inserted version that outlived the commit (with its row
-// data) and every superseded version reference, stamped with the block.
+// effects from the commit-time capture: every inserted version that
+// outlived the commit (with its row data) and every superseded version
+// reference, stamped with the block. Using rec.Capture avoids re-reading
+// the store per row on the commit critical path.
 func (d *DiskStore) CommitTx(rec *TxRecord, block int64) {
 	d.Store.CommitTx(rec, block)
 	if !rec.HasWrites() {
 		return
 	}
+	wc := rec.Capture
 	e := codec.NewBuf(512)
 	e.Byte(opCommit)
 	e.Varint(block)
-	// Count surviving inserts first (versions inserted and deleted within
-	// the same transaction were dropped by CommitTx and must not be
-	// logged).
-	type insOp struct {
-		ir  ItemRef
-		row types.Row
-	}
-	var ins []insOp
-	for _, ir := range rec.Inserted {
-		if v := d.Store.Get(ir.Table, ir.Ref); v != nil {
-			ins = append(ins, insOp{ir, v.Data})
-		}
-	}
-	e.Uvarint(uint64(len(ins)))
-	for _, op := range ins {
-		e.String(op.ir.Table)
-		e.Uvarint(op.ir.Ref)
-		e.Row(op.row)
+	e.Uvarint(uint64(len(wc.Inserted)))
+	for _, op := range wc.Inserted {
+		e.String(op.Table)
+		e.Uvarint(op.Ref)
+		e.Row(op.Row)
 	}
 	e.Uvarint(uint64(len(rec.DeletedOld)))
 	for _, ir := range rec.DeletedOld {
@@ -357,13 +350,16 @@ func (d *DiskStore) CommitTx(rec *TxRecord, block int64) {
 	d.append(e.Bytes())
 }
 
-// SetHeight records the new committed height, logs it, and fsyncs: this
-// is the durability point for every commit frame of the block. A log
-// write or sync failure here is unrecoverable — continuing would
-// acknowledge blocks that are not durable — so, like PostgreSQL on a WAL
-// write failure, the node panics and relies on crash recovery.
-func (d *DiskStore) SetHeight(h int64) {
-	d.Store.SetHeight(h)
+// MarkDurable logs the new durable height and fsyncs: this is the
+// durability point for every commit frame of the block, including the
+// block's sys_ledger seal rows appended just before it. The in-memory
+// height was already bumped by SetHeight at the commit stage; blocks
+// between the two are the crash window that recovery re-processes from
+// the block store (§3.6). A log write or sync failure here is
+// unrecoverable — continuing would acknowledge blocks that are not
+// durable — so, like PostgreSQL on a WAL write failure, the node panics
+// and relies on crash recovery.
+func (d *DiskStore) MarkDurable(h int64) {
 	e := codec.NewBuf(16)
 	e.Byte(opHeight)
 	e.Varint(h)

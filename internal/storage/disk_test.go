@@ -11,6 +11,13 @@ import (
 	"bcrdb/internal/wal"
 )
 
+// setHeightDurable bumps the committed height and marks it durable — the
+// two calls the node's commit and seal stages issue respectively.
+func setHeightDurable(s Backend, h int64) {
+	s.SetHeight(h)
+	s.MarkDurable(h)
+}
+
 func openDiskT(t *testing.T, path string) *DiskStore {
 	t.Helper()
 	d, err := OpenDisk(path)
@@ -46,7 +53,7 @@ func driveHistory(t *testing.T, s Backend) int64 {
 			refs[id] = v.ID
 		}
 		s.CommitTx(rec, blk)
-		s.SetHeight(blk)
+		setHeightDurable(s, blk)
 	}
 	// Block 3: update rows 0-4 (delete old version + insert new).
 	rec := NewTxRecord(s.BeginTx(), 2)
@@ -61,7 +68,7 @@ func driveHistory(t *testing.T, s Backend) int64 {
 		refs[id] = v.ID
 	}
 	s.CommitTx(rec, 3)
-	s.SetHeight(3)
+	setHeightDurable(s, 3)
 	// Block 4: delete rows 15-17.
 	rec = NewTxRecord(s.BeginTx(), 3)
 	for id := int64(15); id <= 17; id++ {
@@ -70,7 +77,7 @@ func driveHistory(t *testing.T, s Backend) int64 {
 		}
 	}
 	s.CommitTx(rec, 4)
-	s.SetHeight(4)
+	setHeightDurable(s, 4)
 	// Block 5: an aborted transaction (must leave no durable trace) and
 	// one more insert.
 	ab := NewTxRecord(s.BeginTx(), 4)
@@ -83,7 +90,7 @@ func driveHistory(t *testing.T, s Backend) int64 {
 		t.Fatal(err)
 	}
 	s.CommitTx(rec, 5)
-	s.SetHeight(5)
+	setHeightDurable(s, 5)
 	return 5
 }
 
@@ -199,7 +206,7 @@ func TestDiskBackendCrashMidBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	d3.CommitTx(rec, h+1)
-	d3.SetHeight(h + 1)
+	setHeightDurable(d3, h+1)
 	wantN, _ := d3.CountVersions("t")
 	d3.Close()
 
@@ -322,7 +329,7 @@ func TestDiskBackendDDLSurvivesRestart(t *testing.T) {
 	if err := d.DropTable("gone"); err != nil {
 		t.Fatal(err)
 	}
-	d.SetHeight(1)
+	setHeightDurable(d, 1)
 
 	d2 := openDiskT(t, path)
 	defer d2.Close()

@@ -232,6 +232,31 @@ type TxRecord struct {
 	// ReadOnly transactions skip tracking entirely (§4.3: individual
 	// SELECTs are not blockchain transactions).
 	ReadOnly bool
+
+	// Capture is filled by CommitTx with the transaction's applied
+	// effects, snapshotted under the table locks, so the seal stage can
+	// digest a block (§3.3.4 write-set hash) without re-reading the store
+	// after the fact.
+	Capture *WriteCapture
+}
+
+// WriteCapture records the effects a transaction actually applied at its
+// commit turn: surviving inserted versions with their row data, and
+// superseded versions with their primary keys. Orders match rec.Inserted
+// and rec.DeletedOld, which is what makes the block digest deterministic.
+type WriteCapture struct {
+	Inserted []CapturedRow // surviving inserts (insert-and-delete-in-tx rows are dropped)
+	Deleted  []CapturedRow // superseded versions; Row holds the primary key
+}
+
+// CapturedRow is one captured version: where it lives and what the seal
+// stage needs to hash (the full row for inserts, the primary key for
+// deletes). Row data is immutable after insert, so holding a reference is
+// safe.
+type CapturedRow struct {
+	Table string
+	Ref   uint64
+	Row   types.Row
 }
 
 // NewTxRecord returns an empty record for a transaction executing at the
@@ -644,10 +669,13 @@ func (s *Store) MarkDelete(rec *TxRecord, table string, ref uint64) error {
 
 // --- commit / abort --------------------------------------------------------------
 
-// CommitTx stamps rec's writes with the given block number and marks the
-// transaction committed. The caller (the block processor) serializes all
-// CommitTx/AbortTx calls, so block stamps are deterministic.
+// CommitTx stamps rec's writes with the given block number, marks the
+// transaction committed, and fills rec.Capture with the applied effects
+// (see WriteCapture). The block processor serializes the CommitTx calls
+// of each writer stream (block commits in block order, sys_ledger sealing
+// in block order), so block stamps are deterministic.
 func (s *Store) CommitTx(rec *TxRecord, block int64) {
+	cap := &WriteCapture{}
 	for _, ir := range rec.Inserted {
 		t, err := s.Table(ir.Table)
 		if err != nil {
@@ -661,6 +689,7 @@ func (s *Store) CommitTx(rec *TxRecord, block int64) {
 				s.dropVersionLocked(t, v)
 			} else {
 				v.CreatorBlk = block
+				cap.Inserted = append(cap.Inserted, CapturedRow{ir.Table, ir.Ref, v.Data})
 			}
 		}
 		t.mu.Unlock()
@@ -674,9 +703,11 @@ func (s *Store) CommitTx(rec *TxRecord, block int64) {
 		if v := t.heap[ir.Ref]; v != nil {
 			v.Xmax = rec.ID
 			v.DeleterBlk = block
+			cap.Deleted = append(cap.Deleted, CapturedRow{ir.Table, ir.Ref, types.Row(t.schema.PKKey(v.Data))})
 		}
 		t.mu.Unlock()
 	}
+	rec.Capture = cap
 	s.txMu.Lock()
 	s.tx[rec.ID] = txState{kind: txCommitted, block: block}
 	s.txMu.Unlock()

@@ -45,6 +45,7 @@ func insertCommitted(t *testing.T, s Backend, table string, r types.Row, block i
 	s.CommitTx(rec, block)
 	if block > s.Height() {
 		s.SetHeight(block)
+		s.MarkDurable(block)
 	}
 	return v
 }

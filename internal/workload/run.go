@@ -17,6 +17,10 @@ type RunConfig struct {
 	Contract Contract
 	Flow     bcrdb.Flow
 	Serial   bool // Ethereum-style serial block execution (§5.1)
+	// SynchronousSeal turns off the pipelined block processor (seal
+	// inline instead of overlapping the next block) — the A/B baseline
+	// for the pipeline benchmark.
+	SynchronousSeal bool
 
 	Orgs          int // organizations = database nodes (default 3)
 	UsersPerOrg   int // client identities per org (default 2)
@@ -82,8 +86,12 @@ type Result struct {
 	Committed int64
 	Aborted   int64
 
-	// Micro metrics (node 0, measurement window).
-	BRR, BPR, BPT, BET, BCT, TET, MT, SU float64
+	// Micro metrics (node 0, measurement window). BST is the mean block
+	// seal time, which overlaps the next block's execution unless
+	// SynchronousSeal is set; SealQueue is the seal-queue depth at the
+	// end of the window.
+	BRR, BPR, BPT, BET, BCT, BST, TET, MT, SU float64
+	SealQueue                                 int64
 }
 
 // String renders one result row.
@@ -123,6 +131,7 @@ func Run(cfg RunConfig) (Result, error) {
 		Orgs:            orgs,
 		Flow:            cfg.Flow,
 		SerialExecution: cfg.Serial,
+		SynchronousSeal: cfg.SynchronousSeal,
 		Ordering:        cfg.Ordering,
 		ExtraOrderers:   cfg.ExtraOrderers,
 		BlockSize:       cfg.BlockSize,
@@ -269,9 +278,11 @@ func Run(cfg RunConfig) (Result, error) {
 		BPT:        w.BPT(),
 		BET:        w.BET(),
 		BCT:        w.BCT(),
+		BST:        w.BST(),
 		TET:        w.TET(),
 		MT:         w.MT(),
 		SU:         w.SU(),
+		SealQueue:  w.Diff.SealQueueDepth,
 	}
 	mu.Lock()
 	if len(latencies) > 0 {

@@ -87,6 +87,13 @@ type Options struct {
 	// (default 1).
 	CheckpointEvery uint64
 
+	// SynchronousSeal disables the nodes' pipelined block processor: the
+	// seal stage (ledger rows, write-set hash, WAL frame, checkpointing,
+	// notifications) runs inline after each block instead of overlapping
+	// the next block's execution. Used for A/B benchmarking; results are
+	// bit-identical either way.
+	SynchronousSeal bool
+
 	Genesis Genesis
 }
 
@@ -228,6 +235,7 @@ func NewNetwork(opts Options) (*Network, error) {
 			Peers:           peerNames,
 			CheckpointEvery: opts.CheckpointEvery,
 			Backend:         backend,
+			SynchronousSeal: opts.SynchronousSeal,
 		}
 		if opts.DataDir != "" {
 			cfg.DataDir = filepath.Join(opts.DataDir, org.Name)
@@ -337,14 +345,16 @@ func (nw *Network) Height() int64 {
 	return h
 }
 
-// WaitHeight blocks until every node committed block h (or the timeout
-// expires).
+// WaitHeight blocks until every node has committed and sealed block h
+// (or the timeout expires). Waiting for the seal means sys_ledger rows
+// and checkpoint state for h are visible on return, even with the
+// pipelined block processor.
 func (nw *Network) WaitHeight(h int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		ok := true
 		for _, n := range nw.nodes {
-			if n.Height() < h {
+			if n.Height() < h || n.SealedHeight() < h {
 				ok = false
 				break
 			}

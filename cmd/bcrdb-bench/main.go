@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,11 +24,13 @@ import (
 )
 
 var (
-	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention")
+	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,compiled,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention,smoke (smoke is CI-only and excluded from \"all\")")
 	duration = flag.Duration("duration", 2*time.Second, "measurement window per point")
 	warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before each measurement")
 	backend  = flag.String("backend", "memory", "storage backend: memory or disk (disk uses a temp data dir per run)")
 	jsonPath = flag.String("json", "BENCH.json", "write machine-readable results to this file (empty disables)")
+	compiled = flag.Bool("compiled", true, "execute contracts through the compiled path; -compiled=false forces the tree-walking interpreter")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 )
 
 // benchScenario is one measured point of BENCH.json: the workload
@@ -42,6 +45,7 @@ type benchScenario struct {
 	ArrivalRate float64 `json:"arrival_rate_tps"` // 0 = closed-loop saturation
 	Serial      bool    `json:"serial,omitempty"`
 	SyncSeal    bool    `json:"synchronous_seal,omitempty"`
+	Interpreted bool    `json:"interpreted,omitempty"`
 
 	ThroughputTPS float64 `json:"throughput_tps"`
 	AvgLatencyMs  float64 `json:"avg_latency_ms"`
@@ -87,6 +91,7 @@ func record(cfg workload.RunConfig, r workload.Result) {
 		ArrivalRate:    cfg.ArrivalRate,
 		Serial:         cfg.Serial,
 		SyncSeal:       cfg.SynchronousSeal,
+		Interpreted:    cfg.InterpretContracts,
 		ThroughputTPS:  r.Throughput,
 		AvgLatencyMs:   r.AvgLatencyMs,
 		P95LatencyMs:   r.P95LatencyMs,
@@ -121,6 +126,18 @@ func writeReport() {
 
 func main() {
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *backend != "memory" && *backend != "disk" {
 		fmt.Fprintf(os.Stderr, "unknown -backend %q (want memory or disk)\n", *backend)
 		os.Exit(2)
@@ -141,6 +158,7 @@ func main() {
 		{"table5", func() { micro(bcrdb.ExecuteOrder, "Table 5: execute-order-in-parallel micro metrics", true) }},
 		{"serial", serialComparison},
 		{"pipeline", pipelineComparison},
+		{"compiled", compiledComparison},
 		{"fig6a", func() {
 			figComplex(workload.ComplexJoin, bcrdb.OrderThenExecute, "Figure 6(a): complex-join, order-then-execute")
 		}},
@@ -156,10 +174,11 @@ func main() {
 		{"fig8a", fig8a},
 		{"fig8b", fig8b},
 		{"contention", contention},
+		{"smoke", smoke},
 	}
 	ran := 0
 	for _, r := range runs {
-		if all || want[r.name] {
+		if (all && r.name != "smoke") || want[r.name] {
 			r.fn()
 			ran++
 		}
@@ -175,6 +194,9 @@ func run(cfg workload.RunConfig) workload.Result {
 	cfg.Duration = *duration
 	cfg.Warmup = *warmup
 	cfg.Backend = *backend
+	if !*compiled {
+		cfg.InterpretContracts = true
+	}
 	res, err := workload.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
@@ -275,6 +297,44 @@ func pipelineComparison() {
 			r := peak(cfg)
 			fmt.Printf("%-24s %-10d %-12.1f %-9.2f %-9.2f %-9.2f %-9.2f %-6.1f\n",
 				name, cfg.BlockSize, r.Throughput, r.BPT, r.BET, r.BCT, r.BST, r.SU)
+		}
+	}
+}
+
+func compiledComparison() {
+	header("Compiled contracts A/B: compile-once execution vs tree-walking interpreter")
+	fmt.Printf("%-28s %-10s %-12s %-9s %-9s %-9s %-9s\n",
+		"config", "blocksize", "peak(tps)", "bpt(ms)", "bet(ms)", "bct(ms)", "tet(ms)")
+	for _, c := range []workload.Contract{workload.Simple, workload.ComplexJoin} {
+		for _, interp := range []bool{true, false} {
+			name := c.String() + "/compiled"
+			if interp {
+				name = c.String() + "/interpreted"
+			}
+			cfg := workload.RunConfig{Contract: c, Flow: bcrdb.OrderThenExecute,
+				InterpretContracts: interp, BlockSize: 100, BlockTimeout: 100 * time.Millisecond}
+			r := peak(cfg)
+			fmt.Printf("%-28s %-10d %-12.1f %-9.2f %-9.2f %-9.2f %-9.3f\n",
+				name, cfg.BlockSize, r.Throughput, r.BPT, r.BET, r.BCT, r.TET)
+		}
+	}
+}
+
+// smoke is the CI entry point: one short saturation window per flow on
+// the simple contract, through the compiled execute path. It fails the
+// process when nothing commits, so a broken hot path cannot pass as a
+// "successful" benchmark run. It is not a performance gate.
+func smoke() {
+	header("Smoke: one short window per flow, simple contract")
+	for _, flow := range []bcrdb.Flow{bcrdb.OrderThenExecute, bcrdb.ExecuteOrder} {
+		cfg := workload.RunConfig{Contract: workload.Simple, Flow: flow,
+			BlockSize: 50, BlockTimeout: 100 * time.Millisecond}
+		r := peak(cfg)
+		fmt.Printf("%-28s tput %.1f tps, committed %d, aborted %d\n",
+			flowName(flow), r.Throughput, r.Committed, r.Aborted)
+		if r.Committed == 0 {
+			fmt.Fprintf(os.Stderr, "smoke: %s window committed nothing\n", flowName(flow))
+			os.Exit(1)
 		}
 	}
 }

@@ -117,6 +117,12 @@ type Config struct {
 	// queued for the background sealer before the commit stage blocks
 	// (backpressure). Defaults to 64. Ignored with SynchronousSeal.
 	SealQueue int
+
+	// InterpretContracts disables compile-once contract execution and
+	// runs every invocation through the tree-walking interpreter.
+	// Intended for A/B benchmarking and differential testing; both paths
+	// produce identical state.
+	InterpretContracts bool
 }
 
 // TxResult is the outcome of one transaction, delivered via
@@ -222,6 +228,14 @@ type Node struct {
 	seenMu sync.Mutex
 	seenTx map[string]struct{}
 
+	// Decoded client public keys (authenticate hot path). certsEpoch
+	// counts committed writes to sys_certs; an entry is valid only for
+	// the epoch it was read under and for query heights at or above the
+	// height it was read at, so cert changes are never papered over.
+	certMu     sync.Mutex
+	certCache  map[string]certCacheEntry
+	certsEpoch atomic.Uint64
+
 	// Notifications.
 	subMu sync.Mutex
 	subs  map[string][]chan TxResult // by tx id
@@ -301,11 +315,15 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 		peerHashes: make(map[uint64]map[string]ledger.Hash),
 		subs:       make(map[string][]chan TxResult),
 		seenTx:     make(map[string]struct{}),
+		certCache:  make(map[string]certCacheEntry),
 		sealAbort:  make(chan struct{}),
 		stopped:    make(chan struct{}),
 		diskBacked: kind == storage.KindDisk,
 	}
 	n.heightCond = sync.NewCond(&n.heightMu)
+	if cfg.InterpretContracts {
+		n.interp.SetCompiled(false)
+	}
 
 	if cfg.DataDir != "" {
 		bs, err := ledger.OpenFileStore(filepath.Join(cfg.DataDir, cfg.Name+".blocks"))
@@ -647,23 +665,55 @@ func fnvMod(s string, n int) int {
 // authenticate verifies the client signature against sys_certs as of the
 // given height.
 func (n *Node) authenticate(tx *ledger.Transaction, height int64) error {
-	res, err := n.QueryAt(height, `SELECT pubkey FROM sys_certs WHERE name = $1`,
-		types.NewString(tx.Username))
+	key, err := n.certKeyAt(tx.Username, height)
 	if err != nil {
 		return err
 	}
+	if !identity.VerifyCached(key, tx.SignBytes(), tx.Signature) {
+		return fmt.Errorf("signature verification failed for %q", tx.Username)
+	}
+	return nil
+}
+
+// certCacheEntry is a decoded public key plus the validity guards: the
+// certsEpoch it was read under and the height it was read at.
+type certCacheEntry struct {
+	key    ed25519.PublicKey
+	height int64
+	epoch  uint64
+}
+
+// certKeyAt resolves a user's public key as of the given height,
+// consulting the decoded-key cache. A hit requires the current
+// certsEpoch (no sys_certs write committed since the entry was read)
+// and height >= the entry's read height (a lower height could precede a
+// cert change that the entry already reflects).
+func (n *Node) certKeyAt(user string, height int64) (ed25519.PublicKey, error) {
+	epoch := n.certsEpoch.Load()
+	n.certMu.Lock()
+	if e, ok := n.certCache[user]; ok && e.epoch == epoch && height >= e.height {
+		n.certMu.Unlock()
+		return e.key, nil
+	}
+	n.certMu.Unlock()
+
+	res, err := n.QueryAt(height, `SELECT pubkey FROM sys_certs WHERE name = $1`,
+		types.NewString(user))
+	if err != nil {
+		return nil, err
+	}
 	if len(res.Rows) == 0 {
-		return fmt.Errorf("unknown user %q", tx.Username)
+		return nil, fmt.Errorf("unknown user %q", user)
 	}
 	keyHex := res.Rows[0][0].Str()
 	key, err := hex.DecodeString(keyHex)
 	if err != nil || len(key) != ed25519.PublicKeySize {
-		return fmt.Errorf("bad public key for %q", tx.Username)
+		return nil, fmt.Errorf("bad public key for %q", user)
 	}
-	if !ed25519.Verify(ed25519.PublicKey(key), tx.SignBytes(), tx.Signature) {
-		return fmt.Errorf("signature verification failed for %q", tx.Username)
-	}
-	return nil
+	n.certMu.Lock()
+	n.certCache[user] = certCacheEntry{key: key, height: height, epoch: epoch}
+	n.certMu.Unlock()
+	return key, nil
 }
 
 // onBlock sequences an incoming block (orderer delivery or catch-up

@@ -53,6 +53,7 @@ func (n *Node) commitStage(b *ledger.Block, execs []*execution, replay bool, t0 
 		}
 		if reason == "" {
 			n.store.CommitTx(e.rec, int64(b.Number))
+			n.noteCertWrites(e.rec)
 			analysis.MarkCommitted(i)
 			committedRecs = append(committedRecs, e.rec)
 			committedTxs = append(committedTxs, e.tx)
@@ -104,6 +105,23 @@ func (n *Node) commitStage(b *ledger.Block, execs []*execution, replay bool, t0 
 		committedTxs:  committedTxs,
 		committedRecs: committedRecs,
 		replay:        replay,
+	}
+}
+
+// noteCertWrites bumps the cert-cache epoch when a committed
+// transaction touched sys_certs, invalidating every cached key.
+func (n *Node) noteCertWrites(rec *storage.TxRecord) {
+	for _, ir := range rec.Inserted {
+		if ir.Table == "sys_certs" {
+			n.certsEpoch.Add(1)
+			return
+		}
+	}
+	for _, ir := range rec.DeletedOld {
+		if ir.Table == "sys_certs" {
+			n.certsEpoch.Add(1)
+			return
+		}
 	}
 }
 

@@ -111,9 +111,10 @@ func (e *Engine) execUpdate(ctx *ExecCtx, s *sqlparser.Update) (*Result, error) 
 		return nil, err
 	}
 	n := 0
+	env := evalEnv{ctx: ctx, rs: rs}
 	for _, v := range vers {
 		newRow := v.Data.Clone()
-		env := &evalEnv{ctx: ctx, rs: rs, row: v.Data}
+		env.row = v.Data
 		for i, sc := range s.Set {
 			val, err := env.eval(sc.Value)
 			if err != nil {

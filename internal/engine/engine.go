@@ -13,6 +13,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bcrdb/internal/sqlparser"
 	"bcrdb/internal/storage"
@@ -50,8 +52,12 @@ type ExecCtx struct {
 	// execute-order-in-parallel flow.
 	RequireIndex bool
 	Params       []types.Value          // $N bindings (1-based)
-	Vars         map[string]types.Value // procedure variables
-	User         string                 // invoking user (for sys contracts)
+	Vars         map[string]types.Value // procedure variables (by-name, interpreted path)
+	// Frame holds procedure variables by slot for compiled contracts: a
+	// VarRef with Slot > 0 reads Frame[Slot-1] directly, skipping the Vars
+	// map. Nil outside compiled execution.
+	Frame []types.Value
+	User  string // invoking user (for sys contracts)
 	// AllowSystemWrites lets the built-in system contracts (§3.7) write
 	// to system tables from within ModeContract. User contracts never
 	// get this.
@@ -99,9 +105,32 @@ type Result struct {
 
 // Engine executes SQL against a storage backend (memory or disk — the
 // engine is backend-agnostic; see storage.Backend).
+//
+// The engine keeps two bounded caches for the execute hot path:
+//
+//   - stmtCache: SQL text → parsed Statement, so repeated statements (the
+//     per-transaction authentication and contract-lookup queries) parse
+//     once. Parsed ASTs are never mutated by execution, and caching also
+//     gives every repeat of a statement a *stable node identity* — which
+//     is what keys the plan cache.
+//   - planCache: (WHERE expr identity, table, alias) → memoized index
+//     choice, epoch- and shape-guarded (see plancache.go).
 type Engine struct {
 	store storage.Backend
+
+	stmtCache sync.Map // sql text → sqlparser.Statement
+	stmtCount atomic.Int64
+
+	planCache sync.Map // planKey → *planEntry
+	planCount atomic.Int64
+
+	planHits, planMisses atomic.Int64
 }
+
+// maxStmtCache bounds the text→AST cache; once full, new statements just
+// parse uncached (long-tail one-off statements such as genesis bulk
+// inserts must not grow it without bound).
+const maxStmtCache = 4096
 
 // New returns an engine over the given storage backend.
 func New(st storage.Backend) *Engine { return &Engine{store: st} }
@@ -181,13 +210,38 @@ func className(c storage.SchemaClass) string {
 	return "?"
 }
 
-// ExecSQL parses and executes a single statement.
+// ExecSQL parses and executes a single statement. Parsed statements are
+// cached by text: execution never mutates an AST, so repeats share the
+// same nodes (and therefore the same prepared plans).
 func (e *Engine) ExecSQL(ctx *ExecCtx, sql string) (*Result, error) {
+	if cached, ok := e.stmtCache.Load(sql); ok {
+		return e.Exec(ctx, cached.(sqlparser.Statement))
+	}
 	stmt, err := sqlparser.ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
+	if e.stmtCount.Load() < maxStmtCache {
+		if _, loaded := e.stmtCache.LoadOrStore(sql, stmt); !loaded {
+			e.stmtCount.Add(1)
+		}
+	}
 	return e.Exec(ctx, stmt)
+}
+
+// EvalScalar evaluates a scalar expression with no relation in scope —
+// procedure-language conditions, assignments and defaults. Compiled
+// contracts call it directly instead of wrapping the expression in a
+// FROM-less SELECT.
+func (e *Engine) EvalScalar(ctx *ExecCtx, x sqlparser.Expr) (types.Value, error) {
+	env := evalEnv{ctx: ctx}
+	return env.eval(x)
+}
+
+// PlanCacheStats reports prepared-plan cache hits and misses (hot-path
+// observability for benchmarks and tests).
+func (e *Engine) PlanCacheStats() (hits, misses int64) {
+	return e.planHits.Load(), e.planMisses.Load()
 }
 
 // Exec executes a parsed statement.

@@ -73,6 +73,10 @@ func (env *evalEnv) eval(e sqlparser.Expr) (types.Value, error) {
 		return env.ctx.Params[x.N-1], nil
 
 	case *sqlparser.VarRef:
+		// Compiled contracts pre-resolve variables to frame slots.
+		if x.Slot > 0 && env.ctx != nil && x.Slot <= len(env.ctx.Frame) {
+			return env.ctx.Frame[x.Slot-1], nil
+		}
 		if env.ctx != nil && env.ctx.Vars != nil {
 			if v, ok := env.ctx.Vars[x.Name]; ok {
 				return v, nil

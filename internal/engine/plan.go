@@ -166,8 +166,59 @@ type chosenPlan struct {
 	indexed   bool // false = full scan over the primary index
 }
 
+// indexBounds walks an index's columns left to right, collecting the
+// equality-prefix key and the optional range bound on the column after it.
+func indexBounds(schema storage.Schema, cols []int, bounds map[string]*colBounds) (types.Key, *colBounds) {
+	var eqKey types.Key
+	var rangeB *colBounds
+	for _, c := range cols {
+		b := bounds[schema.Columns[c].Name]
+		if b == nil {
+			break
+		}
+		if b.hasPoint {
+			eqKey = append(eqKey, *b.eq)
+			continue
+		}
+		if b.hasLo || b.hasHi {
+			rangeB = b
+		}
+		break
+	}
+	return eqKey, rangeB
+}
+
+// buildRange turns an equality prefix plus the optional trailing range
+// bound into the index.Range to scan; nCols is the index's column count.
+func buildRange(eqKey types.Key, rangeB *colBounds, nCols int) index.Range {
+	switch {
+	case rangeB != nil:
+		rng := index.Range{LoInc: true, HiInc: true}
+		if rangeB.hasLo {
+			rng.Lo = append(eqKey.Clone(), *rangeB.lo)
+			rng.LoInc = rangeB.loInc
+		} else if len(eqKey) > 0 {
+			rng.Lo = eqKey.Clone()
+		}
+		if rangeB.hasHi {
+			rng.Hi = append(eqKey.Clone(), *rangeB.hi)
+			rng.HiInc = rangeB.hiInc
+		} else if len(eqKey) > 0 {
+			rng.Hi = eqKey.Clone()
+		}
+		return rng
+	case len(eqKey) == nCols:
+		return index.PointRange(eqKey)
+	default:
+		return index.PrefixRange(eqKey)
+	}
+}
+
 // chooseIndex picks the index with the longest equality prefix (plus an
-// optional range on the following column). Primary wins ties.
+// optional range on the following column). Primary wins ties. The choice
+// depends only on the catalog and on the bounds *shape* (which columns
+// carry point/range constraints) — never on bound values — which is what
+// lets the plan cache memoize it safely (see plancache.go).
 func chooseIndex(t *storage.Table, bounds map[string]*colBounds) chosenPlan {
 	schema := t.Schema()
 	names := t.Indexes()
@@ -185,22 +236,7 @@ func chooseIndex(t *storage.Table, bounds map[string]*colBounds) chosenPlan {
 		if !ok {
 			continue
 		}
-		var eqKey types.Key
-		var rangeB *colBounds
-		for _, c := range cols {
-			b := bounds[schema.Columns[c].Name]
-			if b == nil {
-				break
-			}
-			if b.hasPoint {
-				eqKey = append(eqKey, *b.eq)
-				continue
-			}
-			if b.hasLo || b.hasHi {
-				rangeB = b
-			}
-			break
-		}
+		eqKey, rangeB := indexBounds(schema, cols, bounds)
 		score := len(eqKey) * 2
 		if rangeB != nil {
 			score++
@@ -209,28 +245,7 @@ func chooseIndex(t *storage.Table, bounds map[string]*colBounds) chosenPlan {
 			continue
 		}
 		bestScore = score
-		var rng index.Range
-		switch {
-		case rangeB != nil:
-			rng = index.Range{LoInc: true, HiInc: true}
-			if rangeB.hasLo {
-				rng.Lo = append(eqKey.Clone(), *rangeB.lo)
-				rng.LoInc = rangeB.loInc
-			} else if len(eqKey) > 0 {
-				rng.Lo = eqKey.Clone()
-			}
-			if rangeB.hasHi {
-				rng.Hi = append(eqKey.Clone(), *rangeB.hi)
-				rng.HiInc = rangeB.hiInc
-			} else if len(eqKey) > 0 {
-				rng.Hi = eqKey.Clone()
-			}
-		case len(eqKey) == len(cols):
-			rng = index.PointRange(eqKey)
-		default:
-			rng = index.PrefixRange(eqKey)
-		}
-		best = chosenPlan{indexName: name, rng: rng, indexed: true}
+		best = chosenPlan{indexName: name, rng: buildRange(eqKey, rangeB, len(cols)), indexed: true}
 	}
 	return best
 }
@@ -261,8 +276,9 @@ func baseSchema(t *storage.Table, alias string, provenance bool) *relSchema {
 
 // scanBase reads all visible rows of the table under the given bounds,
 // in deterministic (index key, then primary key) order, recording the
-// scanned range and the versions read.
-func (e *Engine) scanBase(ctx *ExecCtx, tableName, alias string, conjuncts []sqlparser.Expr, provenance bool) (*relSchema, []types.Row, error) {
+// scanned range and the versions read. where is the statement's original
+// WHERE expression (the plan-cache key); conjuncts its AND-split form.
+func (e *Engine) scanBase(ctx *ExecCtx, tableName, alias string, where sqlparser.Expr, conjuncts []sqlparser.Expr, provenance bool) (*relSchema, []types.Row, error) {
 	if err := e.checkReadClass(ctx, tableName); err != nil {
 		return nil, nil, err
 	}
@@ -287,8 +303,7 @@ func (e *Engine) scanBase(ctx *ExecCtx, tableName, alias string, conjuncts []sql
 		}
 	}
 
-	bounds := e.extractBounds(ctx, alias, conjuncts)
-	plan := chooseIndex(t, bounds)
+	plan := e.planScan(ctx, t, tableName, alias, where, conjuncts)
 	if !plan.indexed && ctx.tracking() && ctx.RequireIndex {
 		return nil, nil, fmt.Errorf("%w: table %s", ErrNoIndex, tableName)
 	}
@@ -326,12 +341,17 @@ func (e *Engine) scanBase(ctx *ExecCtx, tableName, alias string, conjuncts []sql
 
 	rs := baseSchema(t, alias, provenance)
 	rows := make([]types.Row, 0, len(hits))
+	tracking := ctx.tracking() && !provenance
 	for _, h := range hits {
-		if ctx.tracking() && !provenance {
+		if tracking {
 			ctx.Rec.NoteRead(tableName, h.ver.ID)
 		}
-		row := h.ver.Data.Clone()
+		// Version data is immutable after insert and downstream operators
+		// never mutate base rows in place, so the scan can hand out the
+		// stored row directly instead of cloning every hit.
+		row := h.ver.Data
 		if provenance {
+			row = h.ver.Data.Clone()
 			row = append(row, types.NewInt(int64(h.ver.Xmin)))
 			if h.ver.Xmax != 0 {
 				row = append(row, types.NewInt(int64(h.ver.Xmax)))
@@ -373,8 +393,7 @@ func (e *Engine) scanForWrite(ctx *ExecCtx, tableName string, where sqlparser.Ex
 	}
 	schema := t.Schema()
 	conjuncts := splitConjuncts(where)
-	bounds := e.extractBounds(ctx, tableName, conjuncts)
-	plan := chooseIndex(t, bounds)
+	plan := e.planScan(ctx, t, tableName, tableName, where, conjuncts)
 	if !plan.indexed && ctx.tracking() && ctx.RequireIndex {
 		if where == nil {
 			return nil, nil, ErrBlindUpdate
@@ -399,12 +418,13 @@ func (e *Engine) scanForWrite(ctx *ExecCtx, tableName string, where sqlparser.Ex
 	})
 
 	var out []*storage.RowVersion
+	env := evalEnv{ctx: ctx, rs: rs}
 	for _, h := range hits {
 		if ctx.tracking() {
 			ctx.Rec.NoteRead(tableName, h.ver.ID)
 		}
 		if where != nil {
-			env := &evalEnv{ctx: ctx, rs: rs, row: h.ver.Data}
+			env.row = h.ver.Data
 			v, err := env.eval(where)
 			if err != nil {
 				return nil, nil, err

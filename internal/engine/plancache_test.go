@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bcrdb/internal/storage"
+	"bcrdb/internal/types"
+)
+
+// rangesFor runs sql in a fresh transaction and returns the recorded
+// index ranges (aborting the transaction afterwards).
+func rangesFor(t *testing.T, h *harness, sql string, params ...types.Value) []storage.RangeRef {
+	t.Helper()
+	rec := storage.NewTxRecord(h.st.BeginTx(), h.block)
+	ctx := &ExecCtx{Mode: ModeContract, Height: h.block, Rec: rec, Params: params}
+	if _, err := h.eng.ExecSQL(ctx, sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	h.st.AbortTx(rec)
+	return rec.ReadRanges
+}
+
+func usesIndex(ranges []storage.RangeRef, table, index string) bool {
+	for _, rr := range ranges {
+		if rr.Table == table && rr.Index == index {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPlanCacheInvalidatedByDDL pins the schema-epoch guard: a plan
+// cached for a statement must be re-planned after DDL changes the
+// catalog. The same statement text (and therefore, via the statement
+// cache, the same AST and the same plan-cache key) runs once before and
+// once after CREATE INDEX; the second run must use the new index.
+func TestPlanCacheInvalidatedByDDL(t *testing.T) {
+	h := newHarness(t)
+	h.ddl(`CREATE TABLE pt (id BIGINT PRIMARY KEY, grp BIGINT, v TEXT)`)
+	rows := make([]string, 60)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("(%d, %d, 'v-%d')", i, i%6, i)
+	}
+	h.exec(`INSERT INTO pt VALUES ` + strings.Join(rows, ", "))
+
+	query := `SELECT v FROM pt WHERE grp = $1`
+	arg := types.NewInt(3)
+
+	// Warm the plan cache: without an index on grp this scans the
+	// primary index.
+	before := rangesFor(t, h, query, arg)
+	if usesIndex(before, "pt", "pt_grp") {
+		t.Fatalf("index pt_grp used before it exists: %+v", before)
+	}
+	// Run again so the cached plan is known-hot.
+	rangesFor(t, h, query, arg)
+
+	h.ddl(`CREATE INDEX pt_grp ON pt (grp)`)
+
+	after := rangesFor(t, h, query, arg)
+	if !usesIndex(after, "pt", "pt_grp") {
+		t.Fatalf("cached plan survived DDL: ranges after CREATE INDEX = %+v", after)
+	}
+}
+
+// TestPlanCacheBoundsShapeGuard pins the second cache guard: a cached
+// indexed plan only applies while the parameter shape still yields the
+// same bounds. A NULL parameter removes the equality bound; the scan
+// must fall back rather than reuse the bounded range.
+func TestPlanCacheBoundsShapeGuard(t *testing.T) {
+	h := newHarness(t)
+	h.ddl(`CREATE TABLE st (id BIGINT PRIMARY KEY, grp BIGINT, v TEXT)`)
+	h.ddl(`CREATE INDEX st_grp ON st (grp)`)
+	h.exec(`INSERT INTO st VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 20, 'c')`)
+
+	query := `SELECT v FROM st WHERE grp = $1`
+	got := h.exec(query, types.NewInt(20))
+	if len(got.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(got.Rows))
+	}
+	// Same statement, NULL parameter: grp = NULL matches nothing, and
+	// the cached (indexed, one-bound) plan must not be misapplied.
+	got = h.exec(query, types.Null())
+	if len(got.Rows) != 0 {
+		t.Fatalf("NULL-parameter query returned %d rows, want 0", len(got.Rows))
+	}
+	// And the original shape still works afterwards.
+	got = h.exec(query, types.NewInt(10))
+	if len(got.Rows) != 1 {
+		t.Fatalf("expected 1 row after shape flip, got %d", len(got.Rows))
+	}
+}

@@ -36,12 +36,12 @@ func (e *Engine) execSelect(ctx *ExecCtx, s *sqlparser.Select) (*Result, error) 
 	}
 
 	conjuncts := splitConjuncts(s.Where)
-	rs, rows, err := e.scanBase(ctx, s.From.Table, s.From.Alias, conjuncts, s.Provenance)
+	rs, rows, err := e.scanBase(ctx, s.From.Table, s.From.Alias, s.Where, conjuncts, s.Provenance)
 	if err != nil {
 		return nil, err
 	}
 	for _, j := range s.Joins {
-		rs, rows, err = e.execJoin(ctx, rs, rows, j, conjuncts, s.Provenance)
+		rs, rows, err = e.execJoin(ctx, rs, rows, j, s.Where, conjuncts, s.Provenance)
 		if err != nil {
 			return nil, err
 		}
@@ -57,8 +57,9 @@ func (e *Engine) execSelect(ctx *ExecCtx, s *sqlparser.Select) (*Result, error) 
 	// WHERE filter over the joined relation.
 	if s.Where != nil {
 		kept := rows[:0]
+		env := evalEnv{ctx: ctx, rs: rs}
 		for _, r := range rows {
-			env := &evalEnv{ctx: ctx, rs: rs, row: r}
+			env.row = r
 			v, err := env.eval(s.Where)
 			if err != nil {
 				return nil, err
@@ -295,8 +296,9 @@ func (e *Engine) projectPlain(ctx *ExecCtx, s *sqlparser.Select, items []sqlpars
 	}
 	orderExprs := resolveOrderExprs(s, items)
 	out := make([]types.Row, 0, len(rows))
+	env := evalEnv{ctx: ctx, rs: rs}
 	for _, r := range rows {
-		env := &evalEnv{ctx: ctx, rs: rs, row: r}
+		env.row = r
 		orow := make(types.Row, 0, len(items)+len(orderExprs))
 		for _, it := range items {
 			v, err := env.eval(it.Expr)
@@ -563,8 +565,9 @@ func (e *Engine) projectGrouped(ctx *ExecCtx, s *sqlparser.Select, items []sqlpa
 		aggs     []aggState
 	}
 	groups := make(map[string]*group)
+	env := evalEnv{ctx: ctx, rs: rs}
 	for _, r := range rows {
-		env := &evalEnv{ctx: ctx, rs: rs, row: r}
+		env.row = r
 		key := make(types.Key, len(s.GroupBy))
 		for i, g := range s.GroupBy {
 			v, err := env.eval(g)
@@ -623,7 +626,7 @@ func (e *Engine) projectGrouped(ctx *ExecCtx, s *sqlparser.Select, items []sqlpa
 		for i, spec := range specs {
 			aggVals[spec.call] = grp.aggs[i].result(spec)
 		}
-		env := &evalEnv{ctx: ctx, rs: rs, row: grp.firstRow, aggVals: aggVals}
+		env.row, env.aggVals = grp.firstRow, aggVals
 		if s.Having != nil {
 			hv, err := env.eval(s.Having)
 			if err != nil {
@@ -671,7 +674,9 @@ func dedupeRows(rows []types.Row, w int) []types.Row {
 }
 
 // execJoin joins the accumulated left relation with one more table.
-func (e *Engine) execJoin(ctx *ExecCtx, leftRS *relSchema, leftRows []types.Row, j sqlparser.Join, whereConjuncts []sqlparser.Expr, provenance bool) (*relSchema, []types.Row, error) {
+// where/whereConjuncts are the statement's WHERE (plan-cache key and
+// bounds for the fallback right-side scan).
+func (e *Engine) execJoin(ctx *ExecCtx, leftRS *relSchema, leftRows []types.Row, j sqlparser.Join, where sqlparser.Expr, whereConjuncts []sqlparser.Expr, provenance bool) (*relSchema, []types.Row, error) {
 	if err := e.checkReadClass(ctx, j.Right.Table); err != nil {
 		return nil, nil, err
 	}
@@ -770,12 +775,13 @@ func (e *Engine) execJoin(ctx *ExecCtx, leftRS *relSchema, leftRows []types.Row,
 	residualEqs := eqs // checked via combined-row evaluation of j.On anyway
 	_ = residualEqs
 
+	onEnv := evalEnv{ctx: ctx, rs: combined}
 	evalCombined := func(lrow, rrow types.Row) (bool, error) {
 		full := make(types.Row, 0, len(lrow)+len(rrow))
 		full = append(full, lrow...)
 		full = append(full, rrow...)
-		env := &evalEnv{ctx: ctx, rs: combined, row: full}
-		v, err := env.eval(j.On)
+		onEnv.row = full
+		v, err := onEnv.eval(j.On)
 		if err != nil {
 			return false, err
 		}
@@ -791,8 +797,9 @@ func (e *Engine) execJoin(ctx *ExecCtx, leftRS *relSchema, leftRows []types.Row,
 	if len(lookupOrds) > 0 && !provenance {
 		// Index-nested-loop join: per-left-row point/prefix lookups.
 		fullCols, _ := rightTable.IndexCols(lookupIx)
+		lenv := evalEnv{ctx: ctx, rs: leftRS}
 		for _, lrow := range leftRows {
-			lenv := &evalEnv{ctx: ctx, rs: leftRS, row: lrow}
+			lenv.row = lrow
 			key := make(types.Key, len(lookupOrds))
 			skip := false
 			for i, ord := range lookupOrds {
@@ -847,7 +854,7 @@ func (e *Engine) execJoin(ctx *ExecCtx, leftRS *relSchema, leftRows []types.Row,
 	if ctx.tracking() && ctx.RequireIndex {
 		return nil, nil, fmt.Errorf("%w: join on %s has no usable index", ErrNoIndex, j.Right.Table)
 	}
-	_, rightRows, err := e.scanBase(ctx, j.Right.Table, j.Right.Alias, whereConjuncts, provenance)
+	_, rightRows, err := e.scanBase(ctx, j.Right.Table, j.Right.Alias, where, whereConjuncts, provenance)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -902,7 +909,9 @@ func (e *Engine) lookupRows(ctx *ExecCtx, table, ixName string, rng index.Range,
 		if ctx.tracking() {
 			ctx.Rec.NoteRead(table, h.ver.ID)
 		}
-		rows = append(rows, h.ver.Data.Clone())
+		// Version data is immutable after insert; hand it out directly
+		// (join combination always copies into a fresh combined row).
+		rows = append(rows, h.ver.Data)
 	}
 	return rows, nil
 }

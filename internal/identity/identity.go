@@ -47,7 +47,7 @@ func (id *Identity) ID() string {
 
 // Verify checks sig over msg against the identity's public key.
 func (id *Identity) Verify(msg, sig []byte) bool {
-	return len(id.PubKey) == ed25519.PublicKeySize && ed25519.Verify(id.PubKey, msg, sig)
+	return VerifyCached(id.PubKey, msg, sig)
 }
 
 // Signer is an identity together with its private key.

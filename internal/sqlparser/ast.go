@@ -38,6 +38,11 @@ type Param struct {
 // VarRefs before execution.
 type VarRef struct {
 	Name string
+	// Slot, when positive, is 1 + the index into the executing procedure's
+	// variable frame (ExecCtx.Frame in the engine). The compile-once
+	// contract lowering assigns slots so evaluation skips the by-name map
+	// lookup; 0 means "resolve Name through ExecCtx.Vars".
+	Slot int
 }
 
 // Unary is a unary operation: -x, NOT x.

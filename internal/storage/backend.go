@@ -57,6 +57,10 @@ type Backend interface {
 	CreateTable(schema Schema) error
 	DropTable(name string) error
 	CreateIndex(table, name string, cols []int, unique bool) error
+	// SchemaEpoch is a counter that increases on every DDL change; caches
+	// derived from the catalog (prepared plans, compiled contracts) are
+	// valid only for the epoch they were built under.
+	SchemaEpoch() uint64
 	Table(name string) (*Table, error)
 	HasTable(name string) bool
 	TableNames() []string

@@ -316,6 +316,12 @@ type Store struct {
 
 	nextTx atomic.Uint64
 	height atomic.Int64 // last committed block number
+
+	// epoch counts catalog (DDL) changes. The engine keys its prepared-plan
+	// cache on it so CREATE/DROP TABLE and CREATE INDEX invalidate every
+	// cached plan (a stale plan could keep scanning a dropped index or miss
+	// a better new one).
+	epoch atomic.Uint64
 }
 
 // Sentinel errors surfaced to the engine.
@@ -340,6 +346,11 @@ func NewStore() *Store {
 
 // Height returns the last committed block number.
 func (s *Store) Height() int64 { return s.height.Load() }
+
+// SchemaEpoch returns the catalog generation counter; it increases on
+// every DDL change. Plans (and any other schema-derived caches) are valid
+// only for the epoch they were built under.
+func (s *Store) SchemaEpoch() uint64 { return s.epoch.Load() }
 
 // SetHeight records that all blocks up to h are committed.
 func (s *Store) SetHeight(h int64) { s.height.Store(h) }
@@ -402,6 +413,7 @@ func (s *Store) CreateTable(schema Schema) error {
 		indexes: map[string]*IndexDef{pk.Name: pk},
 	}
 	s.tables[schema.Name] = t
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -413,6 +425,7 @@ func (s *Store) DropTable(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
 	delete(s.tables, name)
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -466,6 +479,7 @@ func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
 		}
 	}
 	t.indexes[name] = ix
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -575,6 +589,9 @@ func (s *Store) Get(table string, ref uint64) *RowVersion {
 // NULL and arity are checked immediately; uniqueness against the visible
 // snapshot is checked immediately (PostgreSQL-style), while conflicts
 // with concurrent transactions are resolved at commit turn.
+//
+// Insert takes ownership of row: the caller must not reuse or mutate the
+// slice afterwards (row data is immutable once stored).
 func (s *Store) Insert(rec *TxRecord, table string, row types.Row) (*RowVersion, error) {
 	t, err := s.Table(table)
 	if err != nil {
@@ -601,10 +618,14 @@ func (s *Store) Insert(rec *TxRecord, table string, row types.Row) (*RowVersion,
 	defer t.mu.Unlock()
 
 	// Versions this transaction already superseded (the delete half of an
-	// UPDATE) do not count as unique-key conflicts.
-	superseded := make(map[uint64]bool)
+	// UPDATE) do not count as unique-key conflicts. Most transactions never
+	// delete, so the map is built lazily.
+	var superseded map[uint64]bool
 	for _, ir := range rec.DeletedOld {
 		if ir.Table == table {
+			if superseded == nil {
+				superseded = make(map[uint64]bool, len(rec.DeletedOld))
+			}
 			superseded[ir.Ref] = true
 		}
 	}
@@ -630,7 +651,7 @@ func (s *Store) Insert(rec *TxRecord, table string, row types.Row) (*RowVersion,
 	t.nextRef++
 	v := &RowVersion{
 		ID:         t.nextRef,
-		Data:       row.Clone(),
+		Data:       row,
 		Xmin:       rec.ID,
 		CreatorBlk: NoBlock,
 		DeleterBlk: NoBlock,
@@ -669,43 +690,82 @@ func (s *Store) MarkDelete(rec *TxRecord, table string, ref uint64) error {
 
 // --- commit / abort --------------------------------------------------------------
 
+// lockTables resolves the distinct tables referenced by the given item
+// refs and write-locks each exactly once, in sorted name order (a stable
+// total order, so concurrent multi-table lockers cannot deadlock).
+// Unknown tables are simply absent from the returned map. The caller runs
+// unlock when done.
+func (s *Store) lockTables(refs ...[]ItemRef) (tabs map[string]*Table, unlock func()) {
+	tabs = make(map[string]*Table, 2)
+	var names []string
+	for _, rs := range refs {
+		for _, ir := range rs {
+			if _, seen := tabs[ir.Table]; seen {
+				continue
+			}
+			t, err := s.Table(ir.Table)
+			if err != nil {
+				tabs[ir.Table] = nil
+				continue
+			}
+			tabs[ir.Table] = t
+			names = append(names, ir.Table)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tabs[n].mu.Lock()
+	}
+	return tabs, func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			tabs[names[i]].mu.Unlock()
+		}
+	}
+}
+
 // CommitTx stamps rec's writes with the given block number, marks the
 // transaction committed, and fills rec.Capture with the applied effects
 // (see WriteCapture). The block processor serializes the CommitTx calls
 // of each writer stream (block commits in block order, sys_ledger sealing
 // in block order), so block stamps are deterministic.
+//
+// Index maintenance is batched: every table a transaction touched is
+// locked once and all of its row updates applied in that one critical
+// section, instead of a lock round-trip per row.
 func (s *Store) CommitTx(rec *TxRecord, block int64) {
 	cap := &WriteCapture{}
-	for _, ir := range rec.Inserted {
-		t, err := s.Table(ir.Table)
-		if err != nil {
-			continue
-		}
-		t.mu.Lock()
-		if v := t.heap[ir.Ref]; v != nil {
-			if v.Xmax == rec.ID {
-				// Inserted and deleted within the same transaction:
-				// never becomes visible; drop it.
-				s.dropVersionLocked(t, v)
-			} else {
-				v.CreatorBlk = block
-				cap.Inserted = append(cap.Inserted, CapturedRow{ir.Table, ir.Ref, v.Data})
+	if rec.HasWrites() {
+		tabs, unlock := s.lockTables(rec.Inserted, rec.DeletedOld)
+		cap.Inserted = make([]CapturedRow, 0, len(rec.Inserted))
+		cap.Deleted = make([]CapturedRow, 0, len(rec.DeletedOld))
+		for _, ir := range rec.Inserted {
+			t := tabs[ir.Table]
+			if t == nil {
+				continue
+			}
+			if v := t.heap[ir.Ref]; v != nil {
+				if v.Xmax == rec.ID {
+					// Inserted and deleted within the same transaction:
+					// never becomes visible; drop it.
+					s.dropVersionLocked(t, v)
+				} else {
+					v.CreatorBlk = block
+					cap.Inserted = append(cap.Inserted, CapturedRow{ir.Table, ir.Ref, v.Data})
+				}
 			}
 		}
-		t.mu.Unlock()
-	}
-	for _, ir := range rec.DeletedOld {
-		t, err := s.Table(ir.Table)
-		if err != nil {
-			continue
+		for _, ir := range rec.DeletedOld {
+			t := tabs[ir.Table]
+			if t == nil {
+				continue
+			}
+			if v := t.heap[ir.Ref]; v != nil {
+				v.Xmax = rec.ID
+				v.DeleterBlk = block
+				cap.Deleted = append(cap.Deleted, CapturedRow{ir.Table, ir.Ref, types.Row(t.schema.PKKey(v.Data))})
+			}
 		}
-		t.mu.Lock()
-		if v := t.heap[ir.Ref]; v != nil {
-			v.Xmax = rec.ID
-			v.DeleterBlk = block
-			cap.Deleted = append(cap.Deleted, CapturedRow{ir.Table, ir.Ref, types.Row(t.schema.PKKey(v.Data))})
-		}
-		t.mu.Unlock()
+		unlock()
 	}
 	rec.Capture = cap
 	s.txMu.Lock()
@@ -714,18 +774,20 @@ func (s *Store) CommitTx(rec *TxRecord, block int64) {
 }
 
 // AbortTx discards rec's provisional versions and marks the transaction
-// aborted.
+// aborted. Like CommitTx, each touched table is locked once.
 func (s *Store) AbortTx(rec *TxRecord) {
-	for _, ir := range rec.Inserted {
-		t, err := s.Table(ir.Table)
-		if err != nil {
-			continue
+	if len(rec.Inserted) > 0 {
+		tabs, unlock := s.lockTables(rec.Inserted)
+		for _, ir := range rec.Inserted {
+			t := tabs[ir.Table]
+			if t == nil {
+				continue
+			}
+			if v := t.heap[ir.Ref]; v != nil {
+				s.dropVersionLocked(t, v)
+			}
 		}
-		t.mu.Lock()
-		if v := t.heap[ir.Ref]; v != nil {
-			s.dropVersionLocked(t, v)
-		}
-		t.mu.Unlock()
+		unlock()
 	}
 	s.txMu.Lock()
 	s.tx[rec.ID] = txState{kind: txAborted}

@@ -21,6 +21,9 @@ type RunConfig struct {
 	// inline instead of overlapping the next block) — the A/B baseline
 	// for the pipeline benchmark.
 	SynchronousSeal bool
+	// InterpretContracts turns off compile-once contract execution —
+	// the A/B baseline for the compiled-contracts benchmark.
+	InterpretContracts bool
 
 	Orgs          int // organizations = database nodes (default 3)
 	UsersPerOrg   int // client identities per org (default 2)
@@ -128,18 +131,19 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	nw, err := bcrdb.NewNetwork(bcrdb.Options{
-		Orgs:            orgs,
-		Flow:            cfg.Flow,
-		SerialExecution: cfg.Serial,
-		SynchronousSeal: cfg.SynchronousSeal,
-		Ordering:        cfg.Ordering,
-		ExtraOrderers:   cfg.ExtraOrderers,
-		BlockSize:       cfg.BlockSize,
-		BlockTimeout:    cfg.BlockTimeout,
-		Profile:         cfg.Profile,
-		Backend:         cfg.Backend,
-		DataDir:         dataDir,
-		Genesis:         Genesis(cfg.Contract),
+		Orgs:               orgs,
+		Flow:               cfg.Flow,
+		SerialExecution:    cfg.Serial,
+		SynchronousSeal:    cfg.SynchronousSeal,
+		InterpretContracts: cfg.InterpretContracts,
+		Ordering:           cfg.Ordering,
+		ExtraOrderers:      cfg.ExtraOrderers,
+		BlockSize:          cfg.BlockSize,
+		BlockTimeout:       cfg.BlockTimeout,
+		Profile:            cfg.Profile,
+		Backend:            cfg.Backend,
+		DataDir:            dataDir,
+		Genesis:            Genesis(cfg.Contract),
 	})
 	if err != nil {
 		return Result{}, err

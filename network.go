@@ -94,6 +94,11 @@ type Options struct {
 	// bit-identical either way.
 	SynchronousSeal bool
 
+	// InterpretContracts runs contracts through the tree-walking
+	// interpreter instead of the compiled path. A/B benchmarking and
+	// differential-testing knob; state is identical either way.
+	InterpretContracts bool
+
 	Genesis Genesis
 }
 
@@ -227,15 +232,16 @@ func NewNetwork(opts Options) (*Network, error) {
 	// Database nodes.
 	for i, org := range opts.Orgs {
 		cfg := core.Config{
-			Name:            peerNames[i],
-			Org:             org.Name,
-			Flow:            opts.Flow,
-			SerialExecution: opts.SerialExecution,
-			Orderers:        []string{nw.orderers[i%len(nw.orderers)]},
-			Peers:           peerNames,
-			CheckpointEvery: opts.CheckpointEvery,
-			Backend:         backend,
-			SynchronousSeal: opts.SynchronousSeal,
+			Name:               peerNames[i],
+			Org:                org.Name,
+			Flow:               opts.Flow,
+			SerialExecution:    opts.SerialExecution,
+			Orderers:           []string{nw.orderers[i%len(nw.orderers)]},
+			Peers:              peerNames,
+			CheckpointEvery:    opts.CheckpointEvery,
+			Backend:            backend,
+			SynchronousSeal:    opts.SynchronousSeal,
+			InterpretContracts: opts.InterpretContracts,
 		}
 		if opts.DataDir != "" {
 			cfg.DataDir = filepath.Join(opts.DataDir, org.Name)

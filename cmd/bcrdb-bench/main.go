@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -24,13 +25,17 @@ import (
 )
 
 var (
-	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,compiled,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention,smoke (smoke is CI-only and excluded from \"all\")")
+	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,compiled,multicore,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention,smoke (smoke is CI-only and excluded from \"all\")")
 	duration = flag.Duration("duration", 2*time.Second, "measurement window per point")
 	warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before each measurement")
 	backend  = flag.String("backend", "memory", "storage backend: memory or disk (disk uses a temp data dir per run)")
 	jsonPath = flag.String("json", "BENCH.json", "write machine-readable results to this file (empty disables)")
 	compiled = flag.Bool("compiled", true, "execute contracts through the compiled path; -compiled=false forces the tree-walking interpreter")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+
+	commitWorkers = flag.Int("commit-workers", 0, "commit-turn validation workers per node (0 = GOMAXPROCS, 1 = serial commit turn)")
+	verifyWorkers = flag.Int("verify-workers", 0, "block-intake signature-prewarm workers per node (0 = GOMAXPROCS, negative = disabled)")
+	serialCommit  = flag.Bool("serial-commit", false, "force the pre-multicore hot path: serial commit turn, no signature prewarm (overrides -commit-workers/-verify-workers)")
 )
 
 // benchScenario is one measured point of BENCH.json: the workload
@@ -46,6 +51,10 @@ type benchScenario struct {
 	Serial      bool    `json:"serial,omitempty"`
 	SyncSeal    bool    `json:"synchronous_seal,omitempty"`
 	Interpreted bool    `json:"interpreted,omitempty"`
+
+	// Multicore hot-path knobs (docs/adr/0004): 0 = GOMAXPROCS default.
+	CommitWorkers int `json:"commit_workers,omitempty"`
+	VerifyWorkers int `json:"verify_workers,omitempty"`
 
 	ThroughputTPS float64 `json:"throughput_tps"`
 	AvgLatencyMs  float64 `json:"avg_latency_ms"`
@@ -92,6 +101,8 @@ func record(cfg workload.RunConfig, r workload.Result) {
 		Serial:         cfg.Serial,
 		SyncSeal:       cfg.SynchronousSeal,
 		Interpreted:    cfg.InterpretContracts,
+		CommitWorkers:  cfg.CommitWorkers,
+		VerifyWorkers:  cfg.VerifyWorkers,
 		ThroughputTPS:  r.Throughput,
 		AvgLatencyMs:   r.AvgLatencyMs,
 		P95LatencyMs:   r.P95LatencyMs,
@@ -159,6 +170,7 @@ func main() {
 		{"serial", serialComparison},
 		{"pipeline", pipelineComparison},
 		{"compiled", compiledComparison},
+		{"multicore", multicoreComparison},
 		{"fig6a", func() {
 			figComplex(workload.ComplexJoin, bcrdb.OrderThenExecute, "Figure 6(a): complex-join, order-then-execute")
 		}},
@@ -196,6 +208,19 @@ func run(cfg workload.RunConfig) workload.Result {
 	cfg.Backend = *backend
 	if !*compiled {
 		cfg.InterpretContracts = true
+	}
+	// Experiments that A/B the multicore hot path set the worker knobs
+	// themselves; the flags only fill in unset (zero) values.
+	if *serialCommit {
+		cfg.CommitWorkers = 1
+		cfg.VerifyWorkers = -1
+	} else {
+		if cfg.CommitWorkers == 0 {
+			cfg.CommitWorkers = *commitWorkers
+		}
+		if cfg.VerifyWorkers == 0 {
+			cfg.VerifyWorkers = *verifyWorkers
+		}
 	}
 	res, err := workload.Run(cfg)
 	if err != nil {
@@ -320,6 +345,44 @@ func compiledComparison() {
 	}
 }
 
+// multicoreComparison is the same-binary A/B for the multicore hot path
+// (docs/adr/0004): the Figure 5(a) simple-contract saturation point with
+// the pre-multicore configuration (serial commit turn, no signature
+// prewarm) against the parallel configuration (commit workers sized to
+// GOMAXPROCS but at least 4 so the grouping machinery runs even on small
+// runners, plus a prewarm pool). On a single-core runner both legs
+// resolve to near-identical schedules — the printed GOMAXPROCS is the
+// honesty marker for interpreting the ratio.
+func multicoreComparison() {
+	header("Multicore hot path A/B: parallel commit turn + signature prewarm vs serial baseline")
+	procs := runtime.GOMAXPROCS(0)
+	cw := procs
+	if cw < 4 {
+		cw = 4
+	}
+	fmt.Printf("GOMAXPROCS=%d (ratios below are only meaningful on a multi-core runner)\n", procs)
+	base := workload.RunConfig{Contract: workload.Simple, Flow: bcrdb.OrderThenExecute,
+		BlockSize: 100, BlockTimeout: 100 * time.Millisecond}
+	ser := base
+	ser.CommitWorkers = 1
+	ser.VerifyWorkers = -1
+	serRes := peak(ser)
+	par := base
+	par.CommitWorkers = cw
+	par.VerifyWorkers = 2
+	parRes := peak(par)
+	fmt.Printf("%-36s %-12s %-9s %-9s %-9s %-6s\n",
+		"config", "peak(tps)", "bpt(ms)", "bet(ms)", "bct(ms)", "su%")
+	fmt.Printf("%-36s %-12.1f %-9.2f %-9.2f %-9.2f %-6.1f\n",
+		"serial-commit (baseline)", serRes.Throughput, serRes.BPT, serRes.BET, serRes.BCT, serRes.SU)
+	fmt.Printf("%-36s %-12.1f %-9.2f %-9.2f %-9.2f %-6.1f\n",
+		fmt.Sprintf("parallel (commit=%d, verify=2)", cw), parRes.Throughput, parRes.BPT, parRes.BET, parRes.BCT, parRes.SU)
+	if serRes.Throughput > 0 {
+		fmt.Printf("throughput ratio: %.2f× (target ≥1.3× on a multi-core runner)\n",
+			parRes.Throughput/serRes.Throughput)
+	}
+}
+
 // smoke is the CI entry point: one short saturation window per flow on
 // the simple contract, through the compiled execute path. It fails the
 // process when nothing commits, so a broken hot path cannot pass as a
@@ -336,6 +399,19 @@ func smoke() {
 			fmt.Fprintf(os.Stderr, "smoke: %s window committed nothing\n", flowName(flow))
 			os.Exit(1)
 		}
+	}
+	// Third window: force the parallel commit turn and prewarm pool on,
+	// regardless of core count, so CI exercises the multicore machinery
+	// (worker fan-out, grouping, prewarm) end to end every run.
+	cfg := workload.RunConfig{Contract: workload.Simple, Flow: bcrdb.OrderThenExecute,
+		BlockSize: 50, BlockTimeout: 100 * time.Millisecond,
+		CommitWorkers: 4, VerifyWorkers: 2}
+	r := peak(cfg)
+	fmt.Printf("%-28s tput %.1f tps, committed %d, aborted %d\n",
+		"parallel-commit (cw=4,vw=2)", r.Throughput, r.Committed, r.Aborted)
+	if r.Committed == 0 {
+		fmt.Fprintln(os.Stderr, "smoke: parallel-commit window committed nothing")
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,118 @@
+// Commit-turn grouping for parallel validation (stage_commit.go).
+//
+// Determinism argument (docs/adr/0004-multicore-hot-path.md): every
+// cross-transaction interaction at the commit turn is local to a table —
+//
+//   - SSI rw-antidependency edges require a shared table (row edges
+//     connect a reader with the superseder of the same ItemRef; predicate
+//     edges require the same Table+Index pair), so ShouldAbort /
+//     MarkCommitted / MarkAborted for transaction i only ever read or
+//     write analysis state of transactions sharing a table with i;
+//   - commit-turn validation (ww conflicts, stale reads, phantoms,
+//     uniqueness) inspects only versions and index trees of the tables in
+//     the transaction's own footprint, under those tables' locks;
+//   - CommitTx/AbortTx stamp versions of those same tables.
+//
+// Partitioning a block's executions into connected components of the
+// "shares a table" relation therefore yields groups with no way to
+// influence each other; running the groups concurrently while keeping
+// block order within each group produces outcomes identical to the
+// fully serial commit turn. Duplicate-id detection is the one global
+// check, so it runs as a serial pre-pass in block order before any group
+// starts (stage_commit.go).
+
+package core
+
+import "bcrdb/internal/storage"
+
+// commitGroups partitions a block's executions into independently
+// committable groups: connected components under "shares a touched
+// table", with entries sharing one execution object (a malicious block
+// repeating a transaction id) always forced into the same group so the
+// second entry's is-already-committed check observes the first's
+// outcome. Each group lists block positions in ascending order; groups
+// are ordered by first member.
+func commitGroups(execs []*execution) [][]int {
+	parent := make([]int, len(execs))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+
+	tableOwner := make(map[string]int)
+	execOwner := make(map[*execution]int, len(execs))
+	for i, e := range execs {
+		if prev, ok := execOwner[e]; ok {
+			union(prev, i)
+		} else {
+			execOwner[e] = i
+		}
+		if e.rec == nil {
+			continue
+		}
+		for _, tbl := range recTables(e.rec) {
+			if prev, ok := tableOwner[tbl]; ok {
+				union(prev, i)
+			} else {
+				tableOwner[tbl] = i
+			}
+		}
+	}
+
+	byRoot := make(map[int][]int)
+	var order []int
+	for i := range execs {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// recTables lists the distinct tables in a record's read/write
+// footprint, in first-touch order.
+func recTables(rec *storage.TxRecord) []string {
+	seen := make(map[string]struct{}, 4)
+	var out []string
+	add := func(t string) {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	for ir := range rec.ReadRows {
+		add(ir.Table)
+	}
+	for _, rr := range rec.ReadRanges {
+		add(rr.Table)
+	}
+	for _, ir := range rec.Inserted {
+		add(ir.Table)
+	}
+	for _, ir := range rec.DeletedOld {
+		add(ir.Table)
+	}
+	return out
+}

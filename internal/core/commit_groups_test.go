@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"bcrdb/internal/storage"
+)
+
+// mkExec builds an execution whose record touches the given tables: the
+// first as a read row, the rest as inserts — the grouping only cares
+// about the table set, not how each table was touched.
+func mkExec(tables ...string) *execution {
+	rec := &storage.TxRecord{ReadRows: map[storage.ItemRef]struct{}{}}
+	for i, tbl := range tables {
+		if i == 0 {
+			rec.ReadRows[storage.ItemRef{Table: tbl, Ref: 1}] = struct{}{}
+		} else {
+			rec.Inserted = append(rec.Inserted, storage.ItemRef{Table: tbl, Ref: uint64(i)})
+		}
+	}
+	return &execution{rec: rec}
+}
+
+func TestCommitGroupsDisjointTables(t *testing.T) {
+	execs := []*execution{mkExec("a"), mkExec("b"), mkExec("c")}
+	got := commitGroups(execs)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestCommitGroupsSharedTableMerges(t *testing.T) {
+	// 0 and 2 share table a; 1 is alone on b. Groups keep block order
+	// within and are ordered by first member.
+	execs := []*execution{mkExec("a"), mkExec("b"), mkExec("a", "c")}
+	got := commitGroups(execs)
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestCommitGroupsTransitiveChain(t *testing.T) {
+	// a–b via 1, b–c via 2: one component despite 0 and 3 sharing nothing
+	// directly.
+	execs := []*execution{mkExec("a"), mkExec("a", "b"), mkExec("b", "c"), mkExec("c")}
+	got := commitGroups(execs)
+	want := [][]int{{0, 1, 2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestCommitGroupsSharedExecutionObject(t *testing.T) {
+	// A malicious block repeating a transaction id yields two entries
+	// sharing one execution; they must land in the same group even though
+	// a shared record trivially shares tables — and even when the record
+	// is nil (failed execution).
+	e := &execution{}
+	execs := []*execution{e, mkExec("b"), e}
+	got := commitGroups(execs)
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestCommitGroupsNilRecordsAreSingletons(t *testing.T) {
+	execs := []*execution{&execution{}, mkExec("a"), &execution{}}
+	got := commitGroups(execs)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestCommitGroupsCoverAllPositionsOnce(t *testing.T) {
+	execs := []*execution{
+		mkExec("x", "y"), mkExec("z"), mkExec("y"), &execution{}, mkExec("z", "w"),
+	}
+	groups := commitGroups(execs)
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for j, i := range g {
+			if seen[i] {
+				t.Fatalf("position %d appears in two groups: %v", i, groups)
+			}
+			seen[i] = true
+			if j > 0 && g[j-1] >= i {
+				t.Fatalf("group %v not in ascending block order", g)
+			}
+		}
+	}
+	if len(seen) != len(execs) {
+		t.Fatalf("groups cover %d of %d positions: %v", len(seen), len(execs), groups)
+	}
+}
+
+func TestRecTablesDistinctFirstTouch(t *testing.T) {
+	rec := &storage.TxRecord{
+		ReadRows: map[storage.ItemRef]struct{}{{Table: "a", Ref: 1}: {}},
+		ReadRanges: []storage.RangeRef{
+			{Table: "a", Index: "a_pkey"}, {Table: "b", Index: "b_pkey"},
+		},
+		Inserted:   []storage.ItemRef{{Table: "b", Ref: 2}, {Table: "c", Ref: 3}},
+		DeletedOld: []storage.ItemRef{{Table: "a", Ref: 4}},
+	}
+	got := recTables(rec)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recTables = %v, want %v", got, want)
+	}
+}

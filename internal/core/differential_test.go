@@ -70,8 +70,9 @@ func flowName(f bcrdb.Flow) string {
 }
 
 // runDifferential drives one network variant through the workload and
-// returns its observable outcome.
-func runDifferential(t *testing.T, c workload.Contract, flow bcrdb.Flow, backend string, interpret bool) *diffOutcome {
+// returns its observable outcome. Optional mods tweak the network
+// options before it is built (e.g. the multicore commit-turn knobs).
+func runDifferential(t *testing.T, c workload.Contract, flow bcrdb.Flow, backend string, interpret bool, mods ...func(*bcrdb.Options)) *diffOutcome {
 	t.Helper()
 	opts := bcrdb.Options{
 		Orgs:               []bcrdb.Org{{Name: "org1", Users: []string{"alice"}}},
@@ -84,6 +85,9 @@ func runDifferential(t *testing.T, c workload.Contract, flow bcrdb.Flow, backend
 	}
 	if backend == "disk" {
 		opts.DataDir = t.TempDir()
+	}
+	for _, mod := range mods {
+		mod(&opts)
 	}
 	nw, err := bcrdb.NewNetwork(opts)
 	if err != nil {

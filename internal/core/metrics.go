@@ -37,6 +37,12 @@ type Metrics struct {
 	BusyNanos atomic.Int64 // block processor busy time (su numerator)
 
 	SealQueueDepth atomic.Int64 // gauge: blocks committed but not yet sealed
+
+	// Multicore hot path (docs/adr/0004): commit-turn groups formed
+	// (groups per block ≈ available commit parallelism) and signatures
+	// prewarmed by the block-intake verify pool.
+	CommitGroups atomic.Int64
+	SigPrewarms  atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -56,6 +62,8 @@ type Snapshot struct {
 	MissingTxs        int64
 	BusyNanos         int64
 	SealQueueDepth    int64
+	CommitGroups      int64
+	SigPrewarms       int64
 }
 
 // Snapshot captures the current counters.
@@ -76,6 +84,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		MissingTxs:        m.MissingTxs.Load(),
 		BusyNanos:         m.BusyNanos.Load(),
 		SealQueueDepth:    m.SealQueueDepth.Load(),
+		CommitGroups:      m.CommitGroups.Load(),
+		SigPrewarms:       m.SigPrewarms.Load(),
 	}
 }
 
@@ -105,6 +115,8 @@ func (b Snapshot) Sub(a Snapshot) Window {
 			MissingTxs:        b.MissingTxs - a.MissingTxs,
 			BusyNanos:         b.BusyNanos - a.BusyNanos,
 			SealQueueDepth:    b.SealQueueDepth,
+			CommitGroups:      b.CommitGroups - a.CommitGroups,
+			SigPrewarms:       b.SigPrewarms - a.SigPrewarms,
 		},
 	}
 }

@@ -1,0 +1,68 @@
+// Differential test for the multicore hot path (docs/adr/0004): the
+// parallel commit turn, the signature-prewarm pool and the bounded
+// execute pool must be observationally identical to the serial baseline
+// — same per-table state, same sys_ledger rows, same commit/abort
+// counts. It reuses the determinism recipe of differential_test.go (one
+// org, one user, blocks cut strictly by size).
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bcrdb"
+	"bcrdb/internal/workload"
+)
+
+// TestDifferentialParallelVsSerialCommit runs every workload contract
+// with the serial commit turn (CommitWorkers=1, prewarm off — the exact
+// pre-multicore hot path) and with the parallel configuration forced
+// wide (CommitWorkers=8, prewarm on, a small execute pool), on both
+// backends, and requires byte-identical outcomes. The Simple contract
+// additionally runs under execute-order, whose speculative executions
+// exercise the queue's parked-snapshot path. GOMAXPROCS does not matter:
+// the worker fan-out and grouping run regardless of core count.
+func TestDifferentialParallelVsSerialCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness spins up 4 networks per contract")
+	}
+	serial := func(o *bcrdb.Options) {
+		o.CommitWorkers = 1
+		o.VerifyWorkers = -1
+	}
+	parallel := func(o *bcrdb.Options) {
+		o.CommitWorkers = 8
+		o.VerifyWorkers = 2
+		o.ExecWorkers = 4
+	}
+	contracts := []workload.Contract{
+		workload.Simple, workload.ComplexJoin, workload.ComplexGroup, workload.Hotspot,
+	}
+	for _, c := range contracts {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			flows := []bcrdb.Flow{bcrdb.OrderThenExecute}
+			if c == workload.Simple {
+				flows = append(flows, bcrdb.ExecuteOrder)
+			}
+			for _, flow := range flows {
+				flow := flow
+				t.Run(flowName(flow), func(t *testing.T) {
+					for _, backend := range []string{"memory", "disk"} {
+						ref := runDifferential(t, c, flow, backend, false, serial)
+						refLabel := fmt.Sprintf("%s/serial-commit", backend)
+						got := runDifferential(t, c, flow, backend, false, parallel)
+						compareOutcomes(t, refLabel, ref,
+							fmt.Sprintf("%s/parallel-commit", backend), got)
+						if total := diffBlockSize * diffBatches; ref.committed+ref.aborted != total {
+							t.Errorf("%s: expected %d results, got %d committed + %d aborted",
+								refLabel, total, ref.committed, ref.aborted)
+						}
+					}
+				})
+			}
+			// The hotspot contract exists to contend: a run without aborts
+			// would make the abort-set comparison vacuous.
+		})
+	}
+}

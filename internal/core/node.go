@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,30 @@ type Config struct {
 	// Intended for A/B benchmarking and differential testing; both paths
 	// produce identical state.
 	InterpretContracts bool
+
+	// CommitWorkers bounds the goroutines the commit stage uses for
+	// parallel commit-turn validation: transactions are partitioned by
+	// touched-table footprint and non-overlapping groups validate and
+	// commit concurrently (serial in block order within a group — see
+	// docs/adr/0004-multicore-hot-path.md for the determinism argument).
+	// 0 means GOMAXPROCS; 1 restores the fully serial commit turn (the
+	// A/B baseline, bcrdb-bench -serial-commit).
+	CommitWorkers int
+
+	// ExecWorkers sizes the execute stage's worker pool: transactions
+	// run on a fixed pool instead of one goroutine each, so a 10k-tx
+	// block does not create 10k goroutines. Executions waiting for a
+	// future snapshot height are parked off-pool (execqueue.go), so the
+	// bound can never deadlock the pipeline. 0 means GOMAXPROCS.
+	ExecWorkers int
+
+	// VerifyWorkers sizes the block-intake signature-prewarm pool: on
+	// block arrival the client signatures are verified concurrently so
+	// the execute stage's authoritative authenticate call hits a warm
+	// memo. Prewarming is correctness-neutral (the memo is keyed by the
+	// exact key/message/signature bytes). 0 means GOMAXPROCS; negative
+	// disables the pool.
+	VerifyWorkers int
 }
 
 // TxResult is the outcome of one transaction, delivered via
@@ -188,6 +213,14 @@ type Node struct {
 	// Execution registry (TxMetadata).
 	execMu    sync.Mutex
 	executing map[string]*execution
+
+	// Execute-stage scheduler and worker pool (execqueue.go).
+	execQ  *execQueue
+	execWG sync.WaitGroup
+
+	// Block-intake signature prewarm pool; nil when disabled.
+	verifyCh chan *ledger.Transaction
+	verifyWG sync.WaitGroup
 
 	// Height signaling for snapshot waits.
 	heightMu   sync.Mutex
@@ -280,6 +313,20 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 	if cfg.SealQueue == 0 {
 		cfg.SealQueue = 64
 	}
+	// Worker-count knobs: 0 means "scale with the machine". On a
+	// single-core runner they all resolve to 1, which is exactly the
+	// serial baseline.
+	if cfg.CommitWorkers == 0 {
+		cfg.CommitWorkers = runtime.GOMAXPROCS(0)
+	} else if cfg.CommitWorkers < 0 {
+		cfg.CommitWorkers = 1
+	}
+	if cfg.ExecWorkers <= 0 {
+		cfg.ExecWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.VerifyWorkers == 0 {
+		cfg.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
 	kind, err := storage.ParseKind(string(cfg.Backend))
 	if err != nil {
 		return nil, err
@@ -321,6 +368,7 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 		diskBacked: kind == storage.KindDisk,
 	}
 	n.heightCond = sync.NewCond(&n.heightMu)
+	n.execQ = newExecQueue(st.Height)
 	if cfg.InterpretContracts {
 		n.interp.SetCompiled(false)
 	}
@@ -425,6 +473,20 @@ func (n *Node) Bootstrap(g Genesis) error {
 // runs the pipeline stages synchronously, so by the time Start returns
 // every recovered block is fully sealed.
 func (n *Node) Start() error {
+	// The execute-stage pool must run before recovery: replay drives the
+	// pipeline stages synchronously, and its executions run on these
+	// workers.
+	for i := 0; i < n.cfg.ExecWorkers; i++ {
+		n.execWG.Add(1)
+		go n.execWorker()
+	}
+	if n.cfg.VerifyWorkers > 0 {
+		n.verifyCh = make(chan *ledger.Transaction, 4*n.cfg.VerifyWorkers)
+		for i := 0; i < n.cfg.VerifyWorkers; i++ {
+			n.verifyWG.Add(1)
+			go n.verifyLoop()
+		}
+	}
 	if err := n.recoverLocal(); err != nil {
 		return err
 	}
@@ -450,6 +512,12 @@ func (n *Node) Stop() {
 		// stop signal.
 		n.heightCond.Broadcast()
 		n.wg.Wait()
+		// The block processor is gone; fail queued executions and let the
+		// pools drain. (verifyCh is never closed — late onBlock senders
+		// select on n.stopped instead.)
+		n.execQ.close()
+		n.execWG.Wait()
+		n.verifyWG.Wait()
 		if n.sealCh != nil {
 			// The block processor has exited; flush the sealer's backlog.
 			close(n.sealCh)
@@ -737,6 +805,9 @@ func (n *Node) onBlock(m simnet.Message) {
 		return
 	}
 	n.metrics.BlocksReceived.Add(1)
+	// Fan the block's client signatures across the verify pool so the
+	// execute stage's authenticate hits a warm memo (prewarm.go).
+	n.prewarmBlock(b)
 
 	n.blockMu.Lock()
 	defer n.blockMu.Unlock()
@@ -825,6 +896,9 @@ func (n *Node) bumpHeight(h int64) {
 	n.store.SetHeight(h)
 	n.heightCond.Broadcast()
 	n.heightMu.Unlock()
+	// Executions parked on this (or a lower) snapshot height are now
+	// runnable.
+	n.execQ.release(h)
 }
 
 // argsString renders arguments for the ledger table.

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"bcrdb/internal/ledger"
@@ -32,52 +33,64 @@ func (n *Node) commitStage(b *ledger.Block, execs []*execution, replay bool, t0 
 	}
 	analysis := ssi.NewAnalysis(mode, infos)
 
+	// Duplicate-id detection (§3.4.3, the unique-identifier rule) is the
+	// one commit-turn check whose state is global — any two block
+	// positions can carry the same id regardless of table footprint — so
+	// it is decided in a serial pre-pass in block order. The id is
+	// consumed whether the transaction commits or aborts; sys_ledger
+	// records both.
+	dup := make([]bool, len(execs))
+	for i, e := range execs {
+		dup[i] = n.consumeID(e.tx.ID)
+	}
+
+	// Every remaining commit-turn interaction is table-local (see
+	// commit_groups.go), so transactions partition into groups with
+	// disjoint table footprints that validate and commit concurrently,
+	// serial in block order within each group. CommitWorkers=1 (the
+	// -serial-commit baseline) degenerates to the plain serial loop.
 	outcomes := make([]wal.TxOutcome, len(execs))
 	results := make([]TxResult, len(execs))
+	groups := commitGroups(execs)
+	n.metrics.CommitGroups.Add(int64(len(groups)))
+	runGroup := func(idxs []int) {
+		for _, i := range idxs {
+			n.commitOne(b, i, execs[i], dup[i], analysis, outcomes, results)
+		}
+	}
+	if workers := minInt(n.cfg.CommitWorkers, len(groups)); workers > 1 {
+		gch := make(chan []int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range gch {
+					runGroup(g)
+				}
+			}()
+		}
+		for _, g := range groups {
+			gch <- g
+		}
+		close(gch)
+		wg.Wait()
+	} else {
+		for _, g := range groups {
+			runGroup(g)
+		}
+	}
+
+	// Serial post-pass in block order: the seal stage's digest and the
+	// audit history depend on committed-transaction order.
 	var committedRecs []*storage.TxRecord
 	var committedTxs []*ledger.Transaction
-
 	for i, e := range execs {
-		reason := ""
-		switch {
-		case e.err != nil:
-			reason = "execution: " + e.err.Error()
-		case n.seenBefore(e.tx.ID):
-			reason = "duplicate transaction id"
-		default:
-			if r := analysis.ShouldAbort(i); r != ssi.ReasonNone {
-				reason = string(r)
-			} else if err := n.store.Validate(e.rec, int64(b.Number)); err != nil {
-				reason = err.Error()
-			}
-		}
-		if reason == "" {
-			n.store.CommitTx(e.rec, int64(b.Number))
-			n.noteCertWrites(e.rec)
-			analysis.MarkCommitted(i)
+		if outcomes[i].Committed {
 			committedRecs = append(committedRecs, e.rec)
 			committedTxs = append(committedTxs, e.tx)
-			n.metrics.TxCommitted.Add(1)
 			n.recordHistory(b, i, e, infos[i])
-		} else {
-			if e.rec != nil {
-				// A malicious block can carry the same transaction twice;
-				// both entries then share one execution record, and the
-				// second must not roll back versions the first committed.
-				if ok, _ := n.store.IsCommitted(e.rec.ID); !ok {
-					n.store.AbortTx(e.rec)
-				}
-			}
-			analysis.MarkAborted(i)
-			n.metrics.TxAborted.Add(1)
 		}
-		// The id is consumed whether the transaction committed or
-		// aborted — sys_ledger records both (§3.4.3, the
-		// unique-identifier rule).
-		n.markSeen(e.tx.ID)
-		outcomes[i] = wal.TxOutcome{ID: e.tx.ID, Committed: reason == "", Reason: reason}
-		results[i] = TxResult{ID: e.tx.ID, Block: b.Number, Committed: reason == "",
-			Reason: reason, clientEndpoint: e.tx.Username}
 	}
 
 	// Release execution slots.
@@ -106,6 +119,57 @@ func (n *Node) commitStage(b *ledger.Block, execs []*execution, replay bool, t0 
 		committedRecs: committedRecs,
 		replay:        replay,
 	}
+}
+
+// commitOne validates and commits (or aborts) the block's i-th
+// transaction. Safe to run concurrently for transactions in different
+// commit groups: every store and analysis access is confined to the
+// transaction's own table footprint, and the metrics/cert-epoch updates
+// are atomic.
+func (n *Node) commitOne(b *ledger.Block, i int, e *execution, dup bool,
+	analysis *ssi.Analysis, outcomes []wal.TxOutcome, results []TxResult) {
+	reason := ""
+	switch {
+	case e.err != nil:
+		reason = "execution: " + e.err.Error()
+	case dup:
+		reason = "duplicate transaction id"
+	default:
+		if r := analysis.ShouldAbort(i); r != ssi.ReasonNone {
+			reason = string(r)
+		} else if err := n.store.Validate(e.rec, int64(b.Number)); err != nil {
+			reason = err.Error()
+		}
+	}
+	if reason == "" {
+		n.store.CommitTx(e.rec, int64(b.Number))
+		n.noteCertWrites(e.rec)
+		analysis.MarkCommitted(i)
+		n.metrics.TxCommitted.Add(1)
+	} else {
+		if e.rec != nil {
+			// A malicious block can carry the same transaction twice;
+			// both entries then share one execution record, and the
+			// second must not roll back versions the first committed.
+			// (Shared-record entries are always in the same group, so
+			// this check runs after the first entry's commit turn.)
+			if ok, _ := n.store.IsCommitted(e.rec.ID); !ok {
+				n.store.AbortTx(e.rec)
+			}
+		}
+		analysis.MarkAborted(i)
+		n.metrics.TxAborted.Add(1)
+	}
+	outcomes[i] = wal.TxOutcome{ID: e.tx.ID, Committed: reason == "", Reason: reason}
+	results[i] = TxResult{ID: e.tx.ID, Block: b.Number, Committed: reason == "",
+		Reason: reason, clientEndpoint: e.tx.Username}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // noteCertWrites bumps the cert-cache epoch when a committed
@@ -189,11 +253,17 @@ func (n *Node) seenBefore(txID string) bool {
 	return ok
 }
 
-// markSeen records a transaction id as consumed.
-func (n *Node) markSeen(txID string) {
+// consumeID records a transaction id as consumed and reports whether it
+// had already been consumed — by an earlier block, or by an earlier
+// position of the current block.
+func (n *Node) consumeID(txID string) bool {
 	n.seenMu.Lock()
-	n.seenTx[txID] = struct{}{}
+	_, ok := n.seenTx[txID]
+	if !ok {
+		n.seenTx[txID] = struct{}{}
+	}
 	n.seenMu.Unlock()
+	return ok
 }
 
 // rebuildSeen reloads the recorded-id set from sys_ledger. Recovery

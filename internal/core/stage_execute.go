@@ -29,8 +29,21 @@ func (n *Node) ensureExecution(tx *ledger.Transaction, snapshot int64) (*executi
 	}
 	n.executing[tx.ID] = e
 	n.execMu.Unlock()
-	go n.runExecution(e, snapshot)
+	n.execQ.put(e, snapshot)
 	return e, true
+}
+
+// execWorker drains the execute-stage scheduler (execqueue.go) until the
+// queue closes at shutdown.
+func (n *Node) execWorker() {
+	defer n.execWG.Done()
+	for {
+		job, ok := n.execQ.take()
+		if !ok {
+			return
+		}
+		n.runExecution(job.e, job.snapshot)
+	}
 }
 
 // runExecution performs the execution phase of §3.3.2 / §3.4.1: wait for
@@ -56,7 +69,7 @@ func (n *Node) runExecution(e *execution, snapshot int64) {
 		e.err = err
 		return
 	}
-	rec := storage.NewTxRecord(n.store.BeginTx(), snapshot)
+	rec := storage.AcquireTxRecord(n.store.BeginTx(), snapshot)
 	e.rec = rec
 	ctx := &engine.ExecCtx{
 		Mode:         engine.ModeContract,
@@ -74,8 +87,15 @@ func (n *Node) runExecution(e *execution, snapshot int64) {
 }
 
 // cancelExecution abandons an execution stuck waiting for an impossible
-// snapshot height.
+// snapshot height. If the execution is still queued (parked on a future
+// height, or behind other work), it is withdrawn before ever running;
+// once a worker has it, the cancel channel unblocks its height wait.
 func (n *Node) cancelExecution(e *execution) {
+	if n.execQ.remove(e) {
+		e.err = errCancelled
+		close(e.done)
+		return
+	}
 	close(e.cancel)
 	n.heightCond.Broadcast()
 	<-e.done

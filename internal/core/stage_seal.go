@@ -81,6 +81,32 @@ func (n *Node) sealStage(task *sealTask) {
 	n.sealedHeight.Store(int64(b.Number))
 	n.metrics.BlocksSealed.Add(1)
 	n.metrics.BlockSealNanos.Add(int64(time.Since(t0)))
+
+	// The seal was the last reader of the block's execution records (the
+	// write-set digest above consumed their captures); recycle them.
+	n.releaseBlockRecords(task.execs)
+}
+
+// releaseBlockRecords returns a sealed block's transaction records to
+// the storage arena (storage/arena.go). Skipped entirely while history
+// retention is on — the audit trail aliases the records' read sets — and
+// deduplicated by execution, since a malicious block repeating a
+// transaction id yields several entries sharing one record.
+func (n *Node) releaseBlockRecords(execs []*execution) {
+	n.histMu.Lock()
+	retain := n.retainHist
+	n.histMu.Unlock()
+	if retain {
+		return
+	}
+	for _, e := range execs {
+		// Duplicate block entries share one execution object, so nil-ing
+		// e.rec on first release also deduplicates.
+		if rec := e.rec; rec != nil {
+			e.rec = nil
+			storage.ReleaseTxRecord(rec)
+		}
+	}
 }
 
 // appendLedgerRows records all block transactions and their statuses in
@@ -89,7 +115,8 @@ func (n *Node) sealStage(task *sealTask) {
 // deterministic across replicas except for the node-local xid column
 // (which is why sys_ledger is hash-exempt).
 func (n *Node) appendLedgerRows(b *ledger.Block, execs []*execution, outcomes []wal.TxOutcome) {
-	rec := storage.NewTxRecord(n.store.BeginTx(), int64(b.Number)-1)
+	rec := storage.AcquireTxRecord(n.store.BeginTx(), int64(b.Number)-1)
+	defer storage.ReleaseTxRecord(rec) // CommitTx below is its last reader
 	ctx := &engine.ExecCtx{Mode: engine.ModeSystem, Height: int64(b.Number) - 1, Rec: rec}
 	for i, e := range execs {
 		status := "aborted"

@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
 )
 
 // Signature-verification memo. Ed25519 verification is a pure function
@@ -22,20 +23,39 @@ import (
 // different signature, message or key can never alias a cached verdict.
 // Failed verifications are cached too (re-verifying a bad signature is
 // as expensive as a good one).
+//
+// The memo is sharded: with the block-intake prewarm pool and every
+// node's execute stage verifying concurrently, a single mutex would just
+// move the serialization from the verification to the cache. The digest
+// key is uniformly distributed, so its first byte picks the shard.
 
-const verifyMemoSize = 8192
+const (
+	verifyMemoSize   = 8192
+	verifyMemoShards = 16
+	verifyShardCap   = verifyMemoSize / verifyMemoShards
+)
 
-// verifyMemo is a two-generation bounded cache: inserts go to the young
-// map; when it fills, it becomes the old generation and a fresh young
-// map starts. Lookups consult both, so hot entries survive at least one
-// rotation.
-type verifyMemoT struct {
+// verifyShard is one stripe of the two-generation bounded cache: inserts
+// go to the young map; when it fills, it becomes the old generation and
+// a fresh young map starts. Lookups consult both, so hot entries survive
+// at least one rotation. Padded so adjacent shard locks don't share a
+// cache line.
+type verifyShard struct {
 	mu    sync.Mutex
 	young map[[32]byte]bool
 	old   map[[32]byte]bool
+	_     [40]byte
 }
 
-var verifyMemo = verifyMemoT{young: make(map[[32]byte]bool, verifyMemoSize)}
+var (
+	verifyMemo [verifyMemoShards]verifyShard
+
+	// Contention-visible counters: a miss rate that stays high for a
+	// workload of repeated signatures means entries are being rotated out
+	// (memo too small), not that the memo is broken.
+	verifyHits   atomic.Uint64
+	verifyMisses atomic.Uint64
+)
 
 func verifyKey(pub ed25519.PublicKey, msg, sig []byte) [32]byte {
 	h := sha256.New()
@@ -47,32 +67,42 @@ func verifyKey(pub ed25519.PublicKey, msg, sig []byte) [32]byte {
 	return k
 }
 
-// VerifyCached is ed25519.Verify behind the process-wide memo.
+// VerifyCached is ed25519.Verify behind the process-wide sharded memo.
 func VerifyCached(pub ed25519.PublicKey, msg, sig []byte) bool {
 	if len(pub) != ed25519.PublicKeySize {
 		return false
 	}
 	k := verifyKey(pub, msg, sig)
-	m := &verifyMemo
-	m.mu.Lock()
-	if ok, hit := m.young[k]; hit {
-		m.mu.Unlock()
+	s := &verifyMemo[k[0]%verifyMemoShards]
+	s.mu.Lock()
+	if ok, hit := s.young[k]; hit {
+		s.mu.Unlock()
+		verifyHits.Add(1)
 		return ok
 	}
-	if ok, hit := m.old[k]; hit {
-		m.mu.Unlock()
+	if ok, hit := s.old[k]; hit {
+		s.mu.Unlock()
+		verifyHits.Add(1)
 		return ok
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
+	verifyMisses.Add(1)
 
 	ok := ed25519.Verify(pub, msg, sig)
 
-	m.mu.Lock()
-	if len(m.young) >= verifyMemoSize {
-		m.old = m.young
-		m.young = make(map[[32]byte]bool, verifyMemoSize)
+	s.mu.Lock()
+	if s.young == nil {
+		s.young = make(map[[32]byte]bool, verifyShardCap)
+	} else if len(s.young) >= verifyShardCap {
+		s.old = s.young
+		s.young = make(map[[32]byte]bool, verifyShardCap)
 	}
-	m.young[k] = ok
-	m.mu.Unlock()
+	s.young[k] = ok
+	s.mu.Unlock()
 	return ok
+}
+
+// VerifyCacheStats returns the process-wide memo hit/miss counters.
+func VerifyCacheStats() (hits, misses uint64) {
+	return verifyHits.Load(), verifyMisses.Load()
 }

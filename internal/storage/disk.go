@@ -129,9 +129,7 @@ func (d *DiskStore) txFor(txOf map[int64]TxID, block int64) TxID {
 	id, ok := txOf[block]
 	if !ok {
 		id = d.Store.BeginTx()
-		d.Store.txMu.Lock()
-		d.Store.tx[id] = txState{kind: txCommitted, block: block}
-		d.Store.txMu.Unlock()
+		d.Store.forceCommitted(id, block)
 		txOf[block] = id
 	}
 	return id

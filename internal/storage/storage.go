@@ -305,14 +305,34 @@ type txState struct {
 	block int64
 }
 
+// txShardCount stripes the transaction-status table. Status reads sit on
+// the visibility hot path — every version inspected by every scan costs
+// one — so a single RWMutex there serializes all concurrent executions
+// and the sealer. Ids are sequential, so id mod txShardCount spreads
+// consecutive transactions evenly.
+const txShardCount = 64
+
+// txShard is one stripe of the status table, padded so neighboring
+// shards don't share a cache line.
+type txShard struct {
+	mu sync.RWMutex
+	m  map[TxID]txState
+	_  [32]byte
+}
+
 // Store is one node's database: catalog, heaps, indexes and the
 // transaction status table (the CLOG equivalent).
+//
+// The catalog is copy-on-write: readers resolve tables through one
+// atomic pointer load with no lock at all, and DDL (rare, never inside
+// block processing) publishes a fresh map under catMu. Row data is still
+// guarded per table by Table.mu, so concurrent executions touching
+// different tables never contend on a store-wide lock.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	catMu  sync.Mutex                        // serializes DDL (copy-on-write swaps)
+	tables atomic.Pointer[map[string]*Table] // immutable snapshot; lock-free reads
 
-	txMu sync.RWMutex
-	tx   map[TxID]txState
+	txShards [txShardCount]txShard
 
 	nextTx atomic.Uint64
 	height atomic.Int64 // last committed block number
@@ -337,11 +357,22 @@ var (
 
 // NewStore returns an empty store at height 0 (genesis).
 func NewStore() *Store {
-	s := &Store{
-		tables: make(map[string]*Table),
-		tx:     make(map[TxID]txState),
+	s := &Store{}
+	empty := make(map[string]*Table)
+	s.tables.Store(&empty)
+	for i := range s.txShards {
+		s.txShards[i].m = make(map[TxID]txState)
 	}
 	return s
+}
+
+// catalog returns the current table map snapshot. The map is immutable —
+// DDL swaps in a copy — so callers may read it without locking.
+func (s *Store) catalog() map[string]*Table { return *s.tables.Load() }
+
+// shardFor returns the status stripe owning a transaction id.
+func (s *Store) shardFor(id TxID) *txShard {
+	return &s.txShards[uint64(id)%txShardCount]
 }
 
 // Height returns the last committed block number.
@@ -358,9 +389,10 @@ func (s *Store) SetHeight(h int64) { s.height.Store(h) }
 // BeginTx allocates a fresh node-local transaction id.
 func (s *Store) BeginTx() TxID {
 	id := TxID(s.nextTx.Add(1))
-	s.txMu.Lock()
-	s.tx[id] = txState{kind: txInProgress}
-	s.txMu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = txState{kind: txInProgress}
+	sh.mu.Unlock()
 	return id
 }
 
@@ -368,10 +400,21 @@ func (s *Store) txStatus(id TxID) txState {
 	if id == 0 {
 		return txState{kind: txAborted}
 	}
-	s.txMu.RLock()
-	st := s.tx[id]
-	s.txMu.RUnlock()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	st := sh.m[id]
+	sh.mu.RUnlock()
 	return st
+}
+
+// forceCommitted marks a transaction committed at the given block without
+// going through CommitTx. WAL replay uses it for the synthetic per-block
+// transactions standing in for the original (non-durable) ids.
+func (s *Store) forceCommitted(id TxID, block int64) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = txState{kind: txCommitted, block: block}
+	sh.mu.Unlock()
 }
 
 // IsCommitted reports whether the transaction has committed, and in which
@@ -395,9 +438,10 @@ func (s *Store) CreateTable(schema Schema) error {
 		}
 		schema.Columns[c].NotNull = true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[schema.Name]; ok {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	old := s.catalog()
+	if _, ok := old[schema.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrTableExists, schema.Name)
 	}
 	pk := &IndexDef{
@@ -412,28 +456,38 @@ func (s *Store) CreateTable(schema Schema) error {
 		primary: pk,
 		indexes: map[string]*IndexDef{pk.Name: pk},
 	}
-	s.tables[schema.Name] = t
+	next := make(map[string]*Table, len(old)+1)
+	for n, tb := range old {
+		next[n] = tb
+	}
+	next[schema.Name] = t
+	s.tables.Store(&next)
 	s.epoch.Add(1)
 	return nil
 }
 
 // DropTable removes a table and its indexes.
 func (s *Store) DropTable(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	old := s.catalog()
+	if _, ok := old[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
-	delete(s.tables, name)
+	next := make(map[string]*Table, len(old))
+	for n, tb := range old {
+		if n != name {
+			next[n] = tb
+		}
+	}
+	s.tables.Store(&next)
 	s.epoch.Add(1)
 	return nil
 }
 
 // Table returns the named table.
 func (s *Store) Table(name string) (*Table, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
+	t, ok := s.catalog()[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
@@ -442,18 +496,15 @@ func (s *Store) Table(name string) (*Table, error) {
 
 // HasTable reports whether the named table exists.
 func (s *Store) HasTable(name string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.tables[name]
+	_, ok := s.catalog()[name]
 	return ok
 }
 
 // TableNames returns all table names sorted.
 func (s *Store) TableNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.tables))
-	for n := range s.tables {
+	cat := s.catalog()
+	out := make([]string, 0, len(cat))
+	for n := range cat {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -733,11 +784,16 @@ func (s *Store) lockTables(refs ...[]ItemRef) (tabs map[string]*Table, unlock fu
 // locked once and all of its row updates applied in that one critical
 // section, instead of a lock round-trip per row.
 func (s *Store) CommitTx(rec *TxRecord, block int64) {
-	cap := &WriteCapture{}
+	// Reuse the capture a pooled record brought along (see arena.go);
+	// fresh records allocate one here.
+	cap := rec.Capture
+	if cap == nil {
+		cap = &WriteCapture{}
+	}
+	cap.Inserted = cap.Inserted[:0]
+	cap.Deleted = cap.Deleted[:0]
 	if rec.HasWrites() {
 		tabs, unlock := s.lockTables(rec.Inserted, rec.DeletedOld)
-		cap.Inserted = make([]CapturedRow, 0, len(rec.Inserted))
-		cap.Deleted = make([]CapturedRow, 0, len(rec.DeletedOld))
 		for _, ir := range rec.Inserted {
 			t := tabs[ir.Table]
 			if t == nil {
@@ -768,9 +824,7 @@ func (s *Store) CommitTx(rec *TxRecord, block int64) {
 		unlock()
 	}
 	rec.Capture = cap
-	s.txMu.Lock()
-	s.tx[rec.ID] = txState{kind: txCommitted, block: block}
-	s.txMu.Unlock()
+	s.forceCommitted(rec.ID, block)
 }
 
 // AbortTx discards rec's provisional versions and marks the transaction
@@ -789,9 +843,10 @@ func (s *Store) AbortTx(rec *TxRecord) {
 		}
 		unlock()
 	}
-	s.txMu.Lock()
-	s.tx[rec.ID] = txState{kind: txAborted}
-	s.txMu.Unlock()
+	sh := s.shardFor(rec.ID)
+	sh.mu.Lock()
+	sh.m[rec.ID] = txState{kind: txAborted}
+	sh.mu.Unlock()
 }
 
 // dropVersionLocked removes v from heap and indexes. Caller holds t.mu.
@@ -1014,9 +1069,7 @@ func (s *Store) StateHash(height int64) [32]byte {
 
 // SetHashExempt excludes a table from StateHash (see Schema.HashExempt).
 func (s *Store) SetHashExempt(table string) {
-	s.mu.RLock()
-	t, ok := s.tables[table]
-	s.mu.RUnlock()
+	t, ok := s.catalog()[table]
 	if ok {
 		t.mu.Lock()
 		t.schema.HashExempt = true

@@ -24,6 +24,12 @@ type RunConfig struct {
 	// InterpretContracts turns off compile-once contract execution —
 	// the A/B baseline for the compiled-contracts benchmark.
 	InterpretContracts bool
+	// CommitWorkers bounds parallel commit-turn validation (0 =
+	// GOMAXPROCS, 1 = serial commit turn, the multicore A/B baseline).
+	CommitWorkers int
+	// VerifyWorkers sizes the block-intake signature-prewarm pool (0 =
+	// GOMAXPROCS, negative = disabled).
+	VerifyWorkers int
 
 	Orgs          int // organizations = database nodes (default 3)
 	UsersPerOrg   int // client identities per org (default 2)
@@ -136,6 +142,8 @@ func Run(cfg RunConfig) (Result, error) {
 		SerialExecution:    cfg.Serial,
 		SynchronousSeal:    cfg.SynchronousSeal,
 		InterpretContracts: cfg.InterpretContracts,
+		CommitWorkers:      cfg.CommitWorkers,
+		VerifyWorkers:      cfg.VerifyWorkers,
 		Ordering:           cfg.Ordering,
 		ExtraOrderers:      cfg.ExtraOrderers,
 		BlockSize:          cfg.BlockSize,

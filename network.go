@@ -99,6 +99,18 @@ type Options struct {
 	// differential-testing knob; state is identical either way.
 	InterpretContracts bool
 
+	// CommitWorkers bounds each node's parallel commit-turn validation
+	// (docs/adr/0004-multicore-hot-path.md): 0 scales with GOMAXPROCS,
+	// 1 restores the fully serial commit turn (the A/B baseline).
+	// Outcomes are identical at any setting.
+	CommitWorkers int
+	// ExecWorkers sizes each node's execute-stage worker pool
+	// (0 = GOMAXPROCS).
+	ExecWorkers int
+	// VerifyWorkers sizes each node's block-intake signature-prewarm
+	// pool (0 = GOMAXPROCS, negative disables it).
+	VerifyWorkers int
+
 	Genesis Genesis
 }
 
@@ -242,6 +254,9 @@ func NewNetwork(opts Options) (*Network, error) {
 			Backend:            backend,
 			SynchronousSeal:    opts.SynchronousSeal,
 			InterpretContracts: opts.InterpretContracts,
+			CommitWorkers:      opts.CommitWorkers,
+			ExecWorkers:        opts.ExecWorkers,
+			VerifyWorkers:      opts.VerifyWorkers,
 		}
 		if opts.DataDir != "" {
 			cfg.DataDir = filepath.Join(opts.DataDir, org.Name)

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	mrand "math/rand"
 	"sync"
 	"time"
 
@@ -14,6 +15,41 @@ import (
 	"bcrdb/internal/ordering"
 	"bcrdb/internal/simnet"
 )
+
+// RetryPolicy configures client-side resubmission (Options.Retry).
+// Resubmitting the same signed transaction is idempotent end to end: the
+// ordering service deduplicates by transaction id and every node records
+// each id at most once (§3.4.3), so a retry can never double-apply.
+// Between attempts the client consults the replicated ledger table, which
+// catches the committed-but-notification-lost case.
+type RetryPolicy struct {
+	// Attempts is the total number of submission attempts per Invoke.
+	// Default 1 — no retry, the pre-existing behavior.
+	Attempts int
+	// Timeout bounds each attempt's wait for a result. Default 30s.
+	Timeout time.Duration
+	// Backoff is the base delay before the second attempt; it doubles
+	// each further attempt (with jitter) up to MaxBackoff. Defaults
+	// 100ms / 2s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff < p.Backoff {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
 
 // Client submits signed transactions on behalf of one user and listens
 // for commit notifications (§2(7): transactions are asynchronous).
@@ -89,6 +125,12 @@ func (c *Client) onNotify(m simnet.Message) {
 	if m.Kind != core.KindNotify {
 		return
 	}
+	// Every replica pushes a notification as it seals; honor only the
+	// home node's so Invoke-then-Query reads the client's own writes
+	// (a faster replica's push would race the home node's commit).
+	if m.From != c.home.Name() {
+		return
+	}
 	r, err := core.DecodeResult(m.Payload)
 	if err != nil {
 		return
@@ -131,6 +173,62 @@ func (c *Client) buildTx(contract string, args []Value) *ledger.Transaction {
 	return tx
 }
 
+// submitTarget picks the endpoint for one submission attempt. Attempt 0
+// is the normal route (home node / id-chosen orderer); each retry fails
+// over to the next database node (execute-order) or the next orderer
+// (order-then-execute).
+func (c *Client) submitTarget(tx *ledger.Transaction, attempt int) (name, kind string) {
+	if c.nw.opts.Flow == ExecuteOrder {
+		nodes := c.nw.nodes
+		idx := 0
+		for i, n := range nodes {
+			if n == c.home {
+				idx = i
+				break
+			}
+		}
+		return nodes[(idx+attempt)%len(nodes)].Name(), core.KindSubmit
+	}
+	return c.nw.orderers[(fnvIdx(tx.ID)+attempt)%len(c.nw.orderers)], ordering.KindSubmit
+}
+
+func fnvIdx(s string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h & 0x7fffffff)
+}
+
+// addWaiter registers a push-notification waiter for a tx id.
+func (c *Client) addWaiter(id string) <-chan TxResult {
+	ch := make(chan TxResult, 1)
+	c.mu.Lock()
+	c.waiters[id] = append(c.waiters[id], ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// removeWaiter drops a waiter that gave up, so an abandoned Await does
+// not leave its channel registered forever.
+func (c *Client) removeWaiter(id string, ch <-chan TxResult) {
+	c.mu.Lock()
+	ws := c.waiters[id]
+	for i, w := range ws {
+		if (<-chan TxResult)(w) == ch {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(c.waiters, id)
+	} else {
+		c.waiters[id] = ws
+	}
+	c.mu.Unlock()
+}
+
 // submit signs and sends without waiting; returns the transaction id.
 func (c *Client) submit(contract string, args []Value) (string, error) {
 	tx := c.buildTx(contract, args)
@@ -138,20 +236,16 @@ func (c *Client) submit(contract string, args []Value) (string, error) {
 	if c.ep == nil {
 		return "", fmt.Errorf("bcrdb: client %s has no network endpoint", c.signer.Name)
 	}
-	var err error
-	if c.nw.opts.Flow == ExecuteOrder {
-		err = c.ep.Send(c.home.Name(), core.KindSubmit, payload)
-	} else {
-		target := c.nw.orderers[len(tx.ID)%len(c.nw.orderers)]
-		err = c.ep.Send(target, ordering.KindSubmit, payload)
-	}
-	return tx.ID, err
+	target, kind := c.submitTarget(tx, 0)
+	return tx.ID, c.ep.Send(target, kind, payload)
 }
 
 // PendingTx is an in-flight transaction.
 type PendingTx struct {
-	ID string
-	ch <-chan TxResult
+	ID   string
+	c    *Client
+	ch   <-chan TxResult // home-node subscription
+	push <-chan TxResult // client push-notification waiter
 }
 
 // Submit signs and submits a transaction asynchronously. Await the
@@ -160,38 +254,133 @@ type PendingTx struct {
 // nonce argument in the contract when replays must be distinct.
 func (c *Client) Submit(contract string, args ...Value) (*PendingTx, error) {
 	tx := c.buildTx(contract, args)
-	ch := c.home.Subscribe(tx.ID)
-	payload := ledger.MarshalTransaction(tx)
-	var err error
-	if c.nw.opts.Flow == ExecuteOrder {
-		err = c.ep.Send(c.home.Name(), core.KindSubmit, payload)
-	} else {
-		target := c.nw.orderers[len(tx.ID)%len(c.nw.orderers)]
-		err = c.ep.Send(target, ordering.KindSubmit, payload)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &PendingTx{ID: tx.ID, ch: ch}, nil
+	return c.send(tx, ledger.MarshalTransaction(tx), 0)
 }
 
-// Await blocks for the transaction result.
+// send registers both result channels (home-node subscription and
+// push-notification waiter) and ships the payload to the attempt's
+// target, deregistering on send failure.
+func (c *Client) send(tx *ledger.Transaction, payload []byte, attempt int) (*PendingTx, error) {
+	if c.ep == nil {
+		return nil, fmt.Errorf("bcrdb: client %s has no network endpoint", c.signer.Name)
+	}
+	sub := c.home.Subscribe(tx.ID)
+	push := c.addWaiter(tx.ID)
+	target, kind := c.submitTarget(tx, attempt)
+	if err := c.ep.Send(target, kind, payload); err != nil {
+		c.home.Unsubscribe(tx.ID, sub)
+		c.removeWaiter(tx.ID, push)
+		return nil, err
+	}
+	return &PendingTx{ID: tx.ID, c: c, ch: sub, push: push}, nil
+}
+
+// Await blocks for the transaction result. Whatever the outcome, the
+// pending transaction's channel registrations are released on return: a
+// timed-out Await no longer leaks its node-side subscription or its
+// client-side waiter entry.
 func (p *PendingTx) Await(timeout time.Duration) (TxResult, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	defer p.release()
 	select {
 	case r := <-p.ch:
 		return r, nil
-	case <-time.After(timeout):
+	case r := <-p.push:
+		return r, nil
+	case <-timer.C:
 		return TxResult{}, fmt.Errorf("bcrdb: timeout waiting for tx %s", p.ID)
 	}
 }
 
-// Invoke submits a transaction and waits (up to 30s) for its result.
-func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
-	p, err := c.Submit(contract, args...)
-	if err != nil {
-		return TxResult{}, err
+// release deregisters the pending transaction's result channels.
+func (p *PendingTx) release() {
+	if p.c == nil {
+		return
 	}
-	return p.Await(30 * time.Second)
+	if p.ch != nil {
+		p.c.home.Unsubscribe(p.ID, p.ch)
+	}
+	if p.push != nil {
+		p.c.removeWaiter(p.ID, p.push)
+	}
+}
+
+// UnresolvedError is returned by Invoke when every attempt timed out
+// and the replicated ledger has no terminal state for the transaction
+// yet. It carries the transaction id so callers can reconcile later —
+// the transaction may still commit after the client gave up (e.g. the
+// home node is catching up after a partition).
+type UnresolvedError struct {
+	ID       string
+	Attempts int
+	Last     error
+}
+
+func (e *UnresolvedError) Error() string {
+	return fmt.Sprintf("bcrdb: tx %s unresolved after %d attempt(s): %v", e.ID, e.Attempts, e.Last)
+}
+
+func (e *UnresolvedError) Unwrap() error { return e.Last }
+
+// lookupLedger consults the replicated ledger table for a transaction's
+// terminal state — authoritative when a result notification was lost.
+func (c *Client) lookupLedger(id string) (TxResult, bool) {
+	res, err := c.home.Query(`SELECT block, status FROM sys_ledger WHERE txid = $1`, Text(id))
+	if err != nil || len(res.Rows) == 0 {
+		return TxResult{}, false
+	}
+	r := TxResult{
+		ID:        id,
+		Block:     uint64(res.Rows[0][0].Int()),
+		Committed: res.Rows[0][1].Str() == "committed",
+	}
+	if !r.Committed {
+		r.Reason = "recorded aborted in sys_ledger"
+	}
+	return r, true
+}
+
+// Invoke submits a transaction and waits for its result, retrying per
+// Options.Retry (default: one attempt, 30s). Retries resubmit the SAME
+// signed transaction — the ordering service and nodes deduplicate by id,
+// so resubmission is idempotent — and fail over to a different target
+// each attempt. Before each retry (and before giving up) the replicated
+// ledger is consulted, which resolves transactions that committed while
+// their notification was lost.
+func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
+	pol := c.nw.opts.Retry.withDefaults()
+	tx := c.buildTx(contract, args)
+	payload := ledger.MarshalTransaction(tx)
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff/2 + time.Duration(mrand.Int63n(int64(backoff/2)+1)))
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			c.home.Metrics().ClientRetries.Add(1)
+			if r, ok := c.lookupLedger(tx.ID); ok {
+				return r, nil
+			}
+		}
+		p, err := c.send(tx, payload, attempt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r, err := p.Await(pol.Timeout)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	if r, ok := c.lookupLedger(tx.ID); ok {
+		return r, nil
+	}
+	return TxResult{}, &UnresolvedError{ID: tx.ID, Attempts: pol.Attempts, Last: lastErr}
 }
 
 // Query runs a read-only SQL query against the client's home node at the

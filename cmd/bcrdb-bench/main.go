@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,compiled,multicore,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention,smoke (smoke is CI-only and excluded from \"all\")")
+	expFlag  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,table4,table5,serial,pipeline,compiled,multicore,fig6a,fig6b,fig7a,fig7b,fig8a,fig8b,contention,smoke,chaos (smoke and chaos are CI-only and excluded from \"all\")")
 	duration = flag.Duration("duration", 2*time.Second, "measurement window per point")
 	warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before each measurement")
 	backend  = flag.String("backend", "memory", "storage backend: memory or disk (disk uses a temp data dir per run)")
@@ -70,6 +70,16 @@ type benchScenario struct {
 	BlockSealNs    int64   `json:"block_seal_ns"`
 	TxExecNs       int64   `json:"tx_exec_ns"`
 	SUPercent      float64 `json:"su_percent"`
+
+	// Self-healing counters (docs/adr/0005). Zero on every happy-path
+	// scenario; populated by the chaos soak, where nonzero values prove
+	// the healing machinery actually fired.
+	CatchUps   int64 `json:"catchup_requests,omitempty"`
+	Failovers  int64 `json:"orderer_failovers,omitempty"`
+	Retries    int64 `json:"client_retries,omitempty"`
+	Faults     int64 `json:"faults_injected,omitempty"`
+	Late       int64 `json:"late_resolved,omitempty"`
+	Unresolved int64 `json:"unresolved,omitempty"`
 }
 
 type benchReport struct {
@@ -91,11 +101,15 @@ func flowName(f bcrdb.Flow) string {
 }
 
 func record(cfg workload.RunConfig, r workload.Result) {
+	be := cfg.Backend
+	if be == "" {
+		be = "memory"
+	}
 	report.Scenarios = append(report.Scenarios, benchScenario{
 		Experiment:     curExperiment,
 		Flow:           flowName(cfg.Flow),
 		Contract:       cfg.Contract.String(),
-		Backend:        *backend,
+		Backend:        be,
 		BlockSize:      cfg.BlockSize,
 		ArrivalRate:    cfg.ArrivalRate,
 		Serial:         cfg.Serial,
@@ -114,6 +128,28 @@ func record(cfg workload.RunConfig, r workload.Result) {
 		BlockSealNs:    int64(r.BST * 1e6),
 		TxExecNs:       int64(r.TET * 1e6),
 		SUPercent:      r.SU,
+		CatchUps:       r.CatchUps,
+		Failovers:      r.Failovers,
+		Retries:        r.Retries,
+	})
+}
+
+// recordChaos appends one chaos-soak point to BENCH.json.
+func recordChaos(backend string, r workload.ChaosResult) {
+	report.Scenarios = append(report.Scenarios, benchScenario{
+		Experiment: curExperiment,
+		Flow:       flowName(bcrdb.OrderThenExecute),
+		Contract:   r.Config.Contract.String(),
+		Backend:    backend,
+		BlockSize:  r.Config.BlockSize,
+		Committed:  r.Committed,
+		Aborted:    r.Aborted,
+		CatchUps:   r.CatchUps,
+		Failovers:  r.Failovers,
+		Retries:    r.Retries,
+		Faults:     r.FaultsInjected,
+		Late:       r.LateResolved,
+		Unresolved: r.Unresolved,
 	})
 }
 
@@ -187,10 +223,12 @@ func main() {
 		{"fig8b", fig8b},
 		{"contention", contention},
 		{"smoke", smoke},
+		{"chaos", chaosSmoke},
 	}
+	ciOnly := map[string]bool{"smoke": true, "chaos": true}
 	ran := 0
 	for _, r := range runs {
-		if (all && r.name != "smoke") || want[r.name] {
+		if (all && !ciOnly[r.name]) || want[r.name] {
 			r.fn()
 			ran++
 		}
@@ -412,6 +450,58 @@ func smoke() {
 	if r.Committed == 0 {
 		fmt.Fprintln(os.Stderr, "smoke: parallel-commit window committed nothing")
 		os.Exit(1)
+	}
+}
+
+// chaosSmoke is the CI chaos gate: on each storage backend, first a
+// healthy-fabric control window that must keep every self-healing
+// counter at zero (healing machinery firing without faults is a
+// regression), then the seeded soak of workload.RunChaos, which fails
+// the process when any invocation stays unresolved or the replicas
+// diverge. The fixed seed makes a CI failure reproducible locally with
+// the timeline printed in the error.
+//
+// The control runs open-loop at a moderate rate rather than closed-loop
+// saturation: at saturation a replica can genuinely trail its peers for
+// more than one anti-entropy tick, and the resulting (correct) windowed
+// catch-up request would make a strict zero-counter gate flaky. The
+// strict invariant belongs to the non-overloaded fabric.
+func chaosSmoke() {
+	header("Chaos: healthy-fabric control + seeded fault-injection soak (seed 42)")
+	for _, be := range []string{"memory", "disk"} {
+		ctrl := workload.RunConfig{Contract: workload.Simple, Flow: bcrdb.OrderThenExecute,
+			BlockSize: 50, BlockTimeout: 100 * time.Millisecond, Backend: be,
+			ArrivalRate: 1000, Duration: *duration, Warmup: *warmup}
+		c, err := workload.Run(ctrl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos control:", err)
+			os.Exit(1)
+		}
+		record(ctrl, c)
+		fmt.Printf("%-18s tput %.1f tps, committed %d, catchups %d, failovers %d, retries %d\n",
+			be+"/control", c.Throughput, c.Committed, c.CatchUps, c.Failovers, c.Retries)
+		if c.Committed == 0 {
+			fmt.Fprintf(os.Stderr, "chaos: %s control window committed nothing\n", be)
+			os.Exit(1)
+		}
+		if c.CatchUps+c.Failovers+c.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: self-healing fired on a healthy %s fabric (catchups=%d failovers=%d retries=%d)\n",
+				be, c.CatchUps, c.Failovers, c.Retries)
+			os.Exit(1)
+		}
+
+		soak, err := workload.RunChaos(workload.ChaosConfig{
+			Contract: workload.Simple, Seed: 42, Backend: be, Duration: 3 * time.Second})
+		fmt.Printf("%-18s %s\n", be+"/soak", soak.String())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos soak:", err)
+			os.Exit(1)
+		}
+		if soak.FaultsInjected == 0 {
+			fmt.Fprintf(os.Stderr, "chaos: %s soak injected no faults — the gate proved nothing\n", be)
+			os.Exit(1)
+		}
+		recordChaos(be, soak)
 	}
 }
 

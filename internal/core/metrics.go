@@ -43,6 +43,14 @@ type Metrics struct {
 	// prewarmed by the block-intake verify pool.
 	CommitGroups atomic.Int64
 	SigPrewarms  atomic.Int64
+
+	// Self-healing delivery (docs/adr/0005): catch-up ranges requested
+	// from peers, orderer failovers (re-subscribes after a silent
+	// delivery deadline), and client-side submit retries recorded against
+	// the client's home node.
+	CatchUpRequests  atomic.Int64
+	OrdererFailovers atomic.Int64
+	ClientRetries    atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -64,6 +72,9 @@ type Snapshot struct {
 	SealQueueDepth    int64
 	CommitGroups      int64
 	SigPrewarms       int64
+	CatchUpRequests   int64
+	OrdererFailovers  int64
+	ClientRetries     int64
 }
 
 // Snapshot captures the current counters.
@@ -86,6 +97,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		SealQueueDepth:    m.SealQueueDepth.Load(),
 		CommitGroups:      m.CommitGroups.Load(),
 		SigPrewarms:       m.SigPrewarms.Load(),
+		CatchUpRequests:   m.CatchUpRequests.Load(),
+		OrdererFailovers:  m.OrdererFailovers.Load(),
+		ClientRetries:     m.ClientRetries.Load(),
 	}
 }
 
@@ -117,6 +131,9 @@ func (b Snapshot) Sub(a Snapshot) Window {
 			SealQueueDepth:    b.SealQueueDepth,
 			CommitGroups:      b.CommitGroups - a.CommitGroups,
 			SigPrewarms:       b.SigPrewarms - a.SigPrewarms,
+			CatchUpRequests:   b.CatchUpRequests - a.CatchUpRequests,
+			OrdererFailovers:  b.OrdererFailovers - a.OrdererFailovers,
+			ClientRetries:     b.ClientRetries - a.ClientRetries,
 		},
 	}
 }

@@ -72,6 +72,11 @@ const (
 	// KindNotify delivers a transaction result to a client endpoint named
 	// after the username (§2(7): LISTEN/NOTIFY equivalent).
 	KindNotify = "client.notify"
+	// KindTipReq carries the sender's chain tip (uvarint) and asks the
+	// receiver for its own — the anti-entropy tip gossip (§3.6 extended).
+	KindTipReq = "peer.tipreq"
+	// KindTip answers KindTipReq with the responder's chain tip (uvarint).
+	KindTip = "peer.tip"
 )
 
 // Config describes one database node.
@@ -85,11 +90,31 @@ type Config struct {
 	SerialExecution bool
 
 	// Orderers are the ordering-service endpoints this node submits
-	// transactions and checkpoints to.
+	// transactions and checkpoints to — and the failover ring: a node
+	// that hears nothing from its delivering orderer for FailoverTimeout
+	// re-subscribes to the next entry.
 	Orderers []string
+	// DeliverFrom names the orderer this node initially receives block
+	// deliveries from. Defaults to Orderers[0].
+	DeliverFrom string
 	// Peers are all database-node endpoints (including this one), used
 	// for transaction forwarding and block catch-up.
 	Peers []string
+
+	// FailoverTimeout is how long the node tolerates silence (no block,
+	// no heartbeat) from its delivering orderer before re-subscribing to
+	// the next one. Defaults to 2s; must comfortably exceed the orderers'
+	// HeartbeatEvery.
+	FailoverTimeout time.Duration
+	// AntiEntropyEvery is the self-healing tick: tip gossip to a rotating
+	// peer, catch-up re-requests with exponential backoff, and the
+	// orderer liveness check. Defaults to 250ms.
+	AntiEntropyEvery time.Duration
+	// PendingAhead bounds the out-of-order block buffer: deliveries more
+	// than this many blocks above the chain tip are dropped (the tip is
+	// remembered and the range re-requested instead of buffering
+	// unboundedly). Defaults to 512.
+	PendingAhead int
 
 	// DataDir enables file-backed persistence (block store + WAL) for
 	// crash recovery. Empty means in-memory only.
@@ -226,10 +251,14 @@ type Node struct {
 	heightMu   sync.Mutex
 	heightCond *sync.Cond
 
-	// Incoming block sequencing.
+	// Incoming block sequencing. pending is bounded by cfg.PendingAhead
+	// (far-future deliveries are re-requested, not buffered).
 	blockMu sync.Mutex
 	pending map[uint64]*ledger.Block
 	blockCh chan *ledger.Block
+
+	// Self-healing delivery state (antientropy.go).
+	heal healState
 
 	// Checkpoint bookkeeping (§3.3.4). ownHashes/peerHashes hold only the
 	// window above lastCP — evaluateCheckpoint prunes at and below it.
@@ -313,6 +342,18 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 	if cfg.SealQueue == 0 {
 		cfg.SealQueue = 64
 	}
+	if cfg.FailoverTimeout <= 0 {
+		cfg.FailoverTimeout = 2 * time.Second
+	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = 250 * time.Millisecond
+	}
+	if cfg.PendingAhead <= 0 {
+		cfg.PendingAhead = 512
+	}
+	if cfg.DeliverFrom == "" && len(cfg.Orderers) > 0 {
+		cfg.DeliverFrom = cfg.Orderers[0]
+	}
 	// Worker-count knobs: 0 means "scale with the machine". On a
 	// single-core runner they all resolve to 1, which is exactly the
 	// serial baseline.
@@ -369,6 +410,12 @@ func NewNode(cfg Config, signer *identity.Signer, netReg *identity.Registry, net
 	}
 	n.heightCond = sync.NewCond(&n.heightMu)
 	n.execQ = newExecQueue(st.Height)
+	for i, o := range cfg.Orderers {
+		if o == cfg.DeliverFrom {
+			n.heal.ordererIdx = i
+		}
+	}
+	n.heal.lastOrderer = time.Now()
 	if cfg.InterpretContracts {
 		n.interp.SetCompiled(false)
 	}
@@ -497,6 +544,11 @@ func (n *Node) Start() error {
 	}
 	n.wg.Add(1)
 	go n.processLoop()
+	n.heal.mu.Lock()
+	n.heal.lastOrderer = time.Now()
+	n.heal.mu.Unlock()
+	n.wg.Add(1)
+	go n.antiEntropyLoop()
 	n.requestCatchUp()
 	return nil
 }
@@ -631,6 +683,26 @@ func (n *Node) Subscribe(txID string) <-chan TxResult {
 	return ch
 }
 
+// Unsubscribe removes a Subscribe registration whose waiter gave up
+// (client Await timeout), so the node does not hold the channel — and
+// the tx-id entry — forever.
+func (n *Node) Unsubscribe(txID string, ch <-chan TxResult) {
+	n.subMu.Lock()
+	subs := n.subs[txID]
+	for i, c := range subs {
+		if (<-chan TxResult)(c) == ch {
+			subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(subs) == 0 {
+		delete(n.subs, txID)
+	} else {
+		n.subs[txID] = subs
+	}
+	n.subMu.Unlock()
+}
+
 // SubscribeAll returns a channel receiving every transaction result.
 func (n *Node) SubscribeAll() <-chan TxResult {
 	ch := make(chan TxResult, 4096)
@@ -683,6 +755,12 @@ func (n *Node) onMessage(m simnet.Message) {
 		n.onBlockReq(m)
 	case KindBlockResp:
 		n.onBlock(m)
+	case ordering.KindHeartbeat:
+		n.onHeartbeat(m)
+	case KindTipReq:
+		n.onTipReq(m)
+	case KindTip:
+		n.onTip(m)
 	}
 }
 
@@ -805,37 +883,52 @@ func (n *Node) onBlock(m simnet.Message) {
 		return
 	}
 	n.metrics.BlocksReceived.Add(1)
+	// A block from the delivering orderer proves its liveness.
+	n.noteOrdererAlive(m.From)
 	// Fan the block's client signatures across the verify pool so the
 	// execute stage's authenticate hits a warm memo (prewarm.go).
 	n.prewarmBlock(b)
 
+	gap := false
+	var tip uint64
 	n.blockMu.Lock()
-	defer n.blockMu.Unlock()
+loop:
 	for {
 		h := n.blocks.Height()
 		switch {
 		case b.Number <= h:
-			return // duplicate
+			break loop // duplicate
 		case b.Number == h+1:
 			if err := n.blocks.Append(b); err != nil {
-				return // linkage or hash failure: reject
+				break loop // linkage or hash failure: reject
 			}
 			select {
 			case n.blockCh <- b:
 			case <-n.stopped:
-				return
+				break loop
 			}
 			next, ok := n.pending[b.Number+1]
 			if !ok {
-				return
+				break loop
 			}
 			delete(n.pending, b.Number+1)
 			b = next
 		default:
-			n.pending[b.Number] = b
-			n.requestRange(h+1, b.Number-1)
-			return
+			// Buffer near-future blocks; anything beyond the bound is
+			// dropped (the tip is remembered and the range re-requested,
+			// so a burst of far-future deliveries cannot exhaust memory).
+			if b.Number <= h+1+uint64(n.cfg.PendingAhead) {
+				n.pending[b.Number] = b
+			}
+			gap, tip = true, b.Number
+			break loop
 		}
+	}
+	n.blockMu.Unlock()
+	if gap {
+		// Ask ONE rotating peer for the missing range, rate-limited with
+		// exponential backoff — not a broadcast to every peer.
+		n.noteTip(tip, true)
 	}
 }
 
@@ -856,21 +949,29 @@ func (n *Node) onBlockReq(m simnet.Message) {
 	}
 }
 
-// requestRange asks other peers for blocks [from, to].
-func (n *Node) requestRange(from, to uint64) {
-	e := codec.NewBuf(16)
-	e.Uvarint(from)
-	e.Uvarint(to)
+// requestCatchUp primes recovery after a (re)start: probe every peer's
+// chain tip (tiny messages) and blind-request a first range from one
+// rotating peer. Steady-state catch-up is the anti-entropy loop's job.
+func (n *Node) requestCatchUp() {
+	h := n.blocks.Height()
+	tip := codec.NewBuf(8)
+	tip.Uvarint(h)
 	for _, p := range n.cfg.Peers {
 		if p != n.cfg.Name {
-			_ = n.ep.Send(p, KindBlockReq, e.Bytes())
+			_ = n.ep.Send(p, KindTipReq, tip.Bytes())
 		}
 	}
-}
-
-// requestCatchUp asks peers for anything newer than our chain tip.
-func (n *Node) requestCatchUp() {
-	n.requestRange(n.blocks.Height()+1, n.blocks.Height()+1024)
+	n.heal.mu.Lock()
+	p := n.nextPeerLocked()
+	n.heal.mu.Unlock()
+	if p == "" {
+		return
+	}
+	e := codec.NewBuf(16)
+	e.Uvarint(h + 1)
+	e.Uvarint(h + catchUpWindow)
+	_ = n.ep.Send(p, KindBlockReq, e.Bytes())
+	n.metrics.CatchUpRequests.Add(1)
 }
 
 // waitForHeight blocks until the committed height reaches h or the

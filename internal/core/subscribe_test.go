@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// Unsubscribe must drop exactly the caller's channel and delete the tx
+// id entry when the last waiter leaves — the node-side half of the
+// client waiter-leak fix (a timed-out Await deregisters itself).
+func TestUnsubscribeRemovesEntry(t *testing.T) {
+	n := &Node{subs: make(map[string][]chan TxResult)}
+	ch1 := n.Subscribe("tx1")
+	ch2 := n.Subscribe("tx1")
+
+	n.Unsubscribe("tx1", ch1)
+	n.subMu.Lock()
+	remaining := len(n.subs["tx1"])
+	n.subMu.Unlock()
+	if remaining != 1 {
+		t.Fatalf("subs[tx1] = %d channels after one Unsubscribe, want 1", remaining)
+	}
+
+	n.Unsubscribe("tx1", ch2)
+	n.subMu.Lock()
+	_, ok := n.subs["tx1"]
+	n.subMu.Unlock()
+	if ok {
+		t.Fatal("subs entry leaked after the last waiter unsubscribed")
+	}
+
+	// Unknown ids and already-removed channels are no-ops.
+	n.Unsubscribe("tx1", ch1)
+	n.Unsubscribe("nope", ch2)
+}

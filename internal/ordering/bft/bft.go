@@ -73,6 +73,7 @@ type Orderer struct {
 	vcTimer     *time.Timer
 	lastWatch   time.Time
 	stopped     bool
+	done        chan struct{}
 
 	delivered func(*ledger.Block) // test hook
 }
@@ -100,13 +101,67 @@ func New(idx int, all []string, signer *identity.Signer, reg *identity.Registry,
 		entries:     make(map[uint64]*entry),
 		deliverNext: 1,
 		vcVotes:     make(map[uint64]map[string]bool),
+		done:        make(chan struct{}),
 	}
 	ep, err := net.Register(o.name, o.onMessage)
 	if err != nil {
 		return nil, err
 	}
 	o.ep = ep
+	go o.heartbeatLoop()
 	return o, nil
+}
+
+// heartbeatLoop proves liveness to this orderer's delivery peers between
+// blocks (same contract as the kafka service): the payload carries the
+// newest delivered block number so a lagging peer knows to catch up.
+func (o *Orderer) heartbeatLoop() {
+	t := time.NewTicker(o.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.done:
+			return
+		case <-t.C:
+			o.mu.Lock()
+			last := o.deliverNext - 1
+			peers := append([]string(nil), o.peers...)
+			o.mu.Unlock()
+			payload := ordering.EncodeHeartbeat(last)
+			for _, p := range peers {
+				_ = o.ep.Send(p, ordering.KindHeartbeat, payload)
+			}
+		}
+	}
+}
+
+// addPeer subscribes a database node to this orderer's deliveries
+// (orderer failover). Idempotent.
+func (o *Orderer) addPeer(name string) {
+	o.mu.Lock()
+	for _, p := range o.peers {
+		if p == name {
+			o.mu.Unlock()
+			return
+		}
+	}
+	o.peers = append(o.peers, name)
+	last := o.deliverNext - 1
+	o.mu.Unlock()
+	_ = o.ep.Send(name, ordering.KindHeartbeat, ordering.EncodeHeartbeat(last))
+}
+
+// removePeer drops a database node from the delivery peers (the node
+// failed over to another orderer while this one was unreachable).
+func (o *Orderer) removePeer(name string) {
+	o.mu.Lock()
+	for i, p := range o.peers {
+		if p == name {
+			o.peers = append(o.peers[:i], o.peers[i+1:]...)
+			break
+		}
+	}
+	o.mu.Unlock()
 }
 
 // Name returns the orderer's endpoint name.
@@ -123,7 +178,11 @@ func (o *Orderer) View() uint64 {
 func (o *Orderer) Stop() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.stopped {
+		return
+	}
 	o.stopped = true
+	close(o.done)
 	o.ep.Stop()
 	if o.batchTimer != nil {
 		o.batchTimer.Stop()
@@ -165,6 +224,10 @@ func (o *Orderer) onMessage(m simnet.Message) {
 		o.handlePrePrepare(m)
 	case kindPrepare, kindCommit:
 		o.handleVote(m)
+	case ordering.KindSubscribe:
+		o.addPeer(m.From)
+	case ordering.KindUnsubscribe:
+		o.removePeer(m.From)
 	case kindViewChange:
 		o.handleViewChange(m)
 	case kindWatch:

@@ -95,12 +95,13 @@ type Orderer struct {
 	ep     *simnet.Endpoint
 	peers  []string
 
-	mu      sync.Mutex
-	cutter  *ordering.Cutter
-	timer   *time.Timer
-	stopped bool
-	done    chan struct{}
-	subID   int
+	mu            sync.Mutex
+	cutter        *ordering.Cutter
+	timer         *time.Timer
+	stopped       bool
+	done          chan struct{}
+	subID         int
+	lastDelivered uint64
 
 	delivered func(*ledger.Block) // test hook
 }
@@ -125,7 +126,50 @@ func NewOrderer(name string, signer *identity.Signer, topic *Topic, net *simnet.
 	id, ch := topic.subscribe()
 	o.subID = id
 	go o.consume(ch)
+	go o.heartbeatLoop()
 	return o, nil
+}
+
+// heartbeatLoop proves liveness to delivery peers between blocks, so a
+// peer hearing nothing can conclude its orderer crashed and fail over.
+// The payload carries the last delivered block number: a peer that is
+// behind it knows to catch up from its database peers.
+func (o *Orderer) heartbeatLoop() {
+	t := time.NewTicker(o.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.done:
+			return
+		case <-t.C:
+			o.mu.Lock()
+			last := o.lastDelivered
+			peers := append([]string(nil), o.peers...)
+			o.mu.Unlock()
+			payload := ordering.EncodeHeartbeat(last)
+			for _, p := range peers {
+				_ = o.ep.Send(p, ordering.KindHeartbeat, payload)
+			}
+		}
+	}
+}
+
+// addPeer subscribes a database node to this orderer's deliveries
+// (orderer failover). Idempotent.
+func (o *Orderer) addPeer(name string) {
+	o.mu.Lock()
+	for _, p := range o.peers {
+		if p == name {
+			o.mu.Unlock()
+			return
+		}
+	}
+	o.peers = append(o.peers, name)
+	last := o.lastDelivered
+	o.mu.Unlock()
+	// Answer immediately so the failed-over peer's delivery deadline
+	// resets without waiting a heartbeat period.
+	_ = o.ep.Send(name, ordering.KindHeartbeat, ordering.EncodeHeartbeat(last))
 }
 
 // Name returns the orderer's endpoint name.
@@ -162,7 +206,24 @@ func (o *Orderer) onMessage(m simnet.Message) {
 			return
 		}
 		o.topic.publish(record{kind: msgCheckpoint, cp: cp})
+	case ordering.KindSubscribe:
+		o.addPeer(m.From)
+	case ordering.KindUnsubscribe:
+		o.removePeer(m.From)
 	}
+}
+
+// removePeer drops a database node from the delivery peers (the node
+// failed over to another orderer while this one was unreachable).
+func (o *Orderer) removePeer(name string) {
+	o.mu.Lock()
+	for i, p := range o.peers {
+		if p == name {
+			o.peers = append(o.peers[:i], o.peers[i+1:]...)
+			break
+		}
+	}
+	o.mu.Unlock()
 }
 
 // SubmitLocal injects a transaction directly (clients colocated with an
@@ -233,7 +294,13 @@ func (o *Orderer) deliver(b *ledger.Block) {
 		Signature: o.signer.Sign(b.Hash[:]),
 	}}
 	data := signed.Encode()
-	for _, p := range o.peers {
+	o.mu.Lock()
+	if b.Number > o.lastDelivered {
+		o.lastDelivered = b.Number
+	}
+	peers := append([]string(nil), o.peers...)
+	o.mu.Unlock()
+	for _, p := range peers {
 		_ = o.ep.Send(p, ordering.KindBlock, data)
 	}
 	if o.delivered != nil {

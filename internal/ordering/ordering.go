@@ -16,8 +16,24 @@ package ordering
 import (
 	"time"
 
+	"bcrdb/internal/codec"
 	"bcrdb/internal/ledger"
 )
+
+// EncodeHeartbeat marshals a KindHeartbeat payload: the sending
+// orderer's last delivered block number.
+func EncodeHeartbeat(lastDelivered uint64) []byte {
+	e := codec.NewBuf(8)
+	e.Uvarint(lastDelivered)
+	return e.Bytes()
+}
+
+// DecodeHeartbeat parses a KindHeartbeat payload.
+func DecodeHeartbeat(data []byte) (uint64, error) {
+	d := codec.NewDec(data)
+	last := d.Uvarint()
+	return last, d.Done()
+}
 
 // Wire message kinds between peers and orderer nodes.
 const (
@@ -27,6 +43,19 @@ const (
 	KindCheckpoint = "ord.checkpoint"
 	// KindBlock carries one marshalled block, orderer → peer.
 	KindBlock = "ord.block"
+	// KindSubscribe asks an orderer to add the sender to its delivery
+	// peers — sent by a database node failing over from a dead orderer
+	// (§3.6 node recovery, extended to orderer crashes).
+	KindSubscribe = "ord.subscribe"
+	// KindUnsubscribe asks an orderer to drop the sender from its
+	// delivery peers — sent by a node that hears a heartbeat from an
+	// orderer it no longer receives deliveries from, so a recovered
+	// orderer stops double-delivering after a failover.
+	KindUnsubscribe = "ord.unsubscribe"
+	// KindHeartbeat carries an orderer's last delivered block number
+	// (uvarint) to its delivery peers, proving liveness between blocks so
+	// peers can distinguish "no traffic" from "my orderer is dead".
+	KindHeartbeat = "ord.heartbeat"
 )
 
 // Config tunes block cutting.
@@ -36,6 +65,10 @@ type Config struct {
 	// BlockTimeout is the maximum time since the first pending
 	// transaction before a block is cut anyway (§4.4).
 	BlockTimeout time.Duration
+	// HeartbeatEvery is how often an idle orderer proves liveness to its
+	// delivery peers (KindHeartbeat). Peers treat several missed
+	// heartbeats as an orderer crash and fail over.
+	HeartbeatEvery time.Duration
 }
 
 // WithDefaults fills unset fields.
@@ -45,6 +78,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.BlockTimeout <= 0 {
 		c.BlockTimeout = 100 * time.Millisecond
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
 	}
 	return c
 }

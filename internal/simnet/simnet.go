@@ -84,11 +84,19 @@ type Network struct {
 	// to n peers costs n transmission times at the sender. 0 = unlimited.
 	egressBW map[string]int64
 
+	// Fault injection (faults.go): per-link failure profiles layered
+	// under the FIFO guarantees. linkFaults overrides faultsFn per pair.
+	faultsFn   FaultsFn
+	linkFaults map[[2]string]Faults
+	seed       int64
+	start      time.Time
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs   atomic.Int64
+	bytes  atomic.Int64
+	faults atomic.Int64
 }
 
 type link struct {
@@ -99,17 +107,20 @@ type link struct {
 // New returns a network where every link uses the given default profile.
 func New(def Profile) *Network {
 	n := &Network{
-		endpoints: make(map[string]*Endpoint),
-		links:     make(map[[2]string]*link),
-		blocked:   make(map[[2]string]bool),
-		egressBW:  make(map[string]int64),
+		endpoints:  make(map[string]*Endpoint),
+		links:      make(map[[2]string]*link),
+		blocked:    make(map[[2]string]bool),
+		egressBW:   make(map[string]int64),
+		linkFaults: make(map[[2]string]Faults),
 		profileFn: func(from, to string) Profile {
 			if from == to {
 				return Loopback()
 			}
 			return def
 		},
-		rng: rand.New(rand.NewSource(42)),
+		seed:  42,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(42)),
 	}
 	return n
 }
@@ -200,8 +211,13 @@ func (ep *Endpoint) Restart() { ep.stopped.Store(false) }
 func (ep *Endpoint) Stopped() bool { return ep.stopped.Load() }
 
 // Send queues a message from this endpoint. Delivery is asynchronous;
-// errors reflect immediately-known conditions only.
+// errors reflect immediately-known conditions only. A stopped (crashed)
+// endpoint cannot transmit: its process may still be running, but its
+// network interface is gone until Restart.
 func (ep *Endpoint) Send(to, kind string, payload []byte) error {
+	if ep.stopped.Load() {
+		return fmt.Errorf("%w: %s (sender)", ErrEndpointDown, ep.name)
+	}
 	msg := Message{From: ep.name, To: to, Kind: kind, Payload: payload}
 	ep.net.mu.RLock()
 	bw := ep.net.egressBW[ep.name]
@@ -298,6 +314,21 @@ func (n *Network) runLink(key [2]string, l *link) {
 				n.rngMu.Lock()
 				prop += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
 				n.rngMu.Unlock()
+			}
+			// Fault injection (faults.go): a faulty link may lose the
+			// message outright or add a latency spike, but never
+			// duplicates or reorders (the spike delays the link's whole
+			// busy period, preserving FIFO).
+			if f := n.faultsFor(key); f.active() {
+				drop, spike := n.faultVerdict(key, f, msg.sentAt)
+				if drop {
+					n.faults.Add(1)
+					continue
+				}
+				if spike > 0 {
+					n.faults.Add(1)
+					prop += spike
+				}
 			}
 			// Transmission starts when both the sender NIC and this
 			// link are free.

@@ -101,6 +101,14 @@ type Result struct {
 	// end of the window.
 	BRR, BPR, BPT, BET, BCT, BST, TET, MT, SU float64
 	SealQueue                                 int64
+
+	// Self-healing counters (node 0, measurement window): catch-up range
+	// requests, orderer failovers, client retries. All zero on a healthy
+	// fabric at moderate load — failovers or retries in any happy-path
+	// run indicate a regression; an occasional catch-up request at
+	// closed-loop saturation is legitimate (a replica genuinely trailing
+	// its peers for more than one anti-entropy tick).
+	CatchUps, Failovers, Retries int64
 }
 
 // String renders one result row.
@@ -295,6 +303,9 @@ func Run(cfg RunConfig) (Result, error) {
 		MT:         w.MT(),
 		SU:         w.SU(),
 		SealQueue:  w.Diff.SealQueueDepth,
+		CatchUps:   w.Diff.CatchUpRequests,
+		Failovers:  w.Diff.OrdererFailovers,
+		Retries:    w.Diff.ClientRetries,
 	}
 	mu.Lock()
 	if len(latencies) > 0 {

@@ -111,6 +111,17 @@ type Options struct {
 	// pool (0 = GOMAXPROCS, negative disables it).
 	VerifyWorkers int
 
+	// Retry configures client-side resubmission with backoff and target
+	// failover (see RetryPolicy). Zero value = one attempt, no retry.
+	Retry RetryPolicy
+	// FailoverTimeout is how long a node tolerates silence from its
+	// delivering orderer before re-subscribing to the next one
+	// (default 2s).
+	FailoverTimeout time.Duration
+	// AntiEntropyEvery is the nodes' self-healing tick: tip gossip,
+	// catch-up with backoff, orderer liveness (default 250ms).
+	AntiEntropyEvery time.Duration
+
 	Genesis Genesis
 }
 
@@ -248,8 +259,11 @@ func NewNetwork(opts Options) (*Network, error) {
 			Org:                org.Name,
 			Flow:               opts.Flow,
 			SerialExecution:    opts.SerialExecution,
-			Orderers:           []string{nw.orderers[i%len(nw.orderers)]},
+			Orderers:           nw.orderers,
+			DeliverFrom:        nw.orderers[i%len(nw.orderers)],
 			Peers:              peerNames,
+			FailoverTimeout:    opts.FailoverTimeout,
+			AntiEntropyEvery:   opts.AntiEntropyEvery,
 			CheckpointEvery:    opts.CheckpointEvery,
 			Backend:            backend,
 			SynchronousSeal:    opts.SynchronousSeal,
@@ -354,6 +368,20 @@ func (nw *Network) Node(i int) *core.Node { return nw.nodes[i] }
 
 // Orderers returns the orderer endpoint names.
 func (nw *Network) Orderers() []string { return append([]string(nil), nw.orderers...) }
+
+// Net exposes the simulated network fabric (fault injection, chaos
+// scheduling, partitions).
+func (nw *Network) Net() *simnet.Network { return nw.net }
+
+// StopOrderer crashes orderer i (endpoint and consensus participation).
+func (nw *Network) StopOrderer(i int) {
+	if len(nw.kafkaOrds) > 0 {
+		nw.kafkaOrds[i].Stop()
+	}
+	if len(nw.bftOrds) > 0 {
+		nw.bftOrds[i].Stop()
+	}
+}
 
 // Height returns the maximum committed height across nodes.
 func (nw *Network) Height() int64 {

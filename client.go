@@ -33,6 +33,11 @@ type RetryPolicy struct {
 	// 100ms / 2s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// Seed seeds the jitter generator. 0 (the default) draws a random
+	// seed per client; a non-zero seed makes every client's backoff
+	// schedule a pure function of (Seed, username), so chaos runs with
+	// the same seed retry at the same simulated moments.
+	Seed int64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -64,6 +69,16 @@ type Client struct {
 	home   *core.Node
 	ep     *simnet.Endpoint
 
+	// rng drives retry jitter. Per-client and explicitly seeded so two
+	// networks built with the same RetryPolicy.Seed produce identical
+	// backoff schedules — the global math/rand source made chaos runs
+	// unrepeatable however carefully everything else was seeded.
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+
+	// backoffHook observes each computed retry wait (tests only).
+	backoffHook func(time.Duration)
+
 	mu      sync.Mutex
 	waiters map[string][]chan TxResult
 }
@@ -92,7 +107,17 @@ func (nw *Network) Client(username string) *Client {
 	if home == nil {
 		home = nw.nodes[0]
 	}
-	c := &Client{nw: nw, signer: signer, home: home, waiters: make(map[string][]chan TxResult)}
+	seed := nw.opts.Retry.Seed
+	if seed == 0 {
+		seed = mrand.Int63()
+	}
+	c := &Client{
+		nw:      nw,
+		signer:  signer,
+		home:    home,
+		rng:     mrand.New(mrand.NewSource(seed ^ int64(fnvIdx(username)))),
+		waiters: make(map[string][]chan TxResult),
+	}
 	ep, err := nw.net.Register(username, c.onNotify)
 	if err == nil {
 		c.ep = ep
@@ -231,6 +256,9 @@ func (c *Client) removeWaiter(id string, ch <-chan TxResult) {
 
 // submit signs and sends without waiting; returns the transaction id.
 func (c *Client) submit(contract string, args []Value) (string, error) {
+	if c.nw.closed.Load() {
+		return "", ErrClosed
+	}
 	tx := c.buildTx(contract, args)
 	payload := ledger.MarshalTransaction(tx)
 	if c.ep == nil {
@@ -261,6 +289,9 @@ func (c *Client) Submit(contract string, args ...Value) (*PendingTx, error) {
 // push-notification waiter) and ships the payload to the attempt's
 // target, deregistering on send failure.
 func (c *Client) send(tx *ledger.Transaction, payload []byte, attempt int) (*PendingTx, error) {
+	if c.nw.closed.Load() {
+		return nil, ErrClosed
+	}
 	if c.ep == nil {
 		return nil, fmt.Errorf("bcrdb: client %s has no network endpoint", c.signer.Name)
 	}
@@ -288,6 +319,8 @@ func (p *PendingTx) Await(timeout time.Duration) (TxResult, error) {
 		return r, nil
 	case r := <-p.push:
 		return r, nil
+	case <-p.c.nw.closedCh:
+		return TxResult{}, ErrClosed
 	case <-timer.C:
 		return TxResult{}, fmt.Errorf("bcrdb: timeout waiting for tx %s", p.ID)
 	}
@@ -356,7 +389,16 @@ func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff/2 + time.Duration(mrand.Int63n(int64(backoff/2)+1)))
+			wait := backoff/2 + time.Duration(c.jitter(int64(backoff/2)+1))
+			if c.backoffHook != nil {
+				c.backoffHook(wait)
+			}
+			// Wait close-aware: Network.Close wakes every sleeping
+			// retry immediately instead of letting it fire attempts
+			// into a stopped fabric seconds later.
+			if !c.sleep(wait) {
+				return TxResult{}, &UnresolvedError{ID: tx.ID, Attempts: attempt, Last: ErrClosed}
+			}
 			backoff *= 2
 			if backoff > pol.MaxBackoff {
 				backoff = pol.MaxBackoff
@@ -365,6 +407,9 @@ func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
 			if r, ok := c.lookupLedger(tx.ID); ok {
 				return r, nil
 			}
+		}
+		if c.nw.closed.Load() {
+			return TxResult{}, &UnresolvedError{ID: tx.ID, Attempts: attempt, Last: ErrClosed}
 		}
 		p, err := c.send(tx, payload, attempt)
 		if err != nil {
@@ -381,6 +426,26 @@ func (c *Client) Invoke(contract string, args ...Value) (TxResult, error) {
 		return r, nil
 	}
 	return TxResult{}, &UnresolvedError{ID: tx.ID, Attempts: pol.Attempts, Last: lastErr}
+}
+
+// jitter draws from the client's seeded rng (n must be > 0).
+func (c *Client) jitter(n int64) int64 {
+	c.rngMu.Lock()
+	v := c.rng.Int63n(n)
+	c.rngMu.Unlock()
+	return v
+}
+
+// sleep waits for d, returning false if the network closed first.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.nw.closedCh:
+		return false
+	}
 }
 
 // Query runs a read-only SQL query against the client's home node at the

@@ -224,8 +224,9 @@ func main() {
 		{"contention", contention},
 		{"smoke", smoke},
 		{"chaos", chaosSmoke},
+		{"remote", remoteSmoke},
 	}
-	ciOnly := map[string]bool{"smoke": true, "chaos": true}
+	ciOnly := map[string]bool{"smoke": true, "chaos": true, "remote": true}
 	ran := 0
 	for _, r := range runs {
 		if (all && !ciOnly[r.name]) || want[r.name] {
@@ -502,6 +503,45 @@ func chaosSmoke() {
 			os.Exit(1)
 		}
 		recordChaos(be, soak)
+	}
+}
+
+// remoteSmoke is the CI wire-path gate: the same closed-loop
+// synchronous-invoke window driven twice — once through in-process
+// clients, once through RemoteClients over loopback HTTP against a
+// served node — so BENCH.json tracks the wire overhead next to the
+// baseline. It fails the process when the wire leg commits nothing,
+// so a broken transport cannot pass as a "successful" run.
+func remoteSmoke() {
+	cfg := workload.RemoteRunConfig{Contract: workload.Simple, Flow: bcrdb.OrderThenExecute,
+		BlockSize: 50, BlockTimeout: 100 * time.Millisecond,
+		Duration: *duration, Warmup: *warmup}
+	rec := workload.RunConfig{Contract: cfg.Contract, Flow: cfg.Flow,
+		BlockSize: cfg.BlockSize, BlockTimeout: cfg.BlockTimeout}
+
+	header("Remote: in-process baseline (closed loop, synchronous invokes)")
+	local, err := workload.RunRemote(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remote baseline:", err)
+		os.Exit(1)
+	}
+	record(rec, local)
+
+	header("Remote: RemoteClient over loopback HTTP")
+	cfg.Wire = true
+	wire, err := workload.RunRemote(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remote wire:", err)
+		os.Exit(1)
+	}
+	record(rec, wire)
+
+	fmt.Printf("%-28s tput %8.1f tps, lat(avg) %6.2fms, committed %d, aborted %d\n",
+		"in-process", local.Throughput, local.AvgLatencyMs, local.Committed, local.Aborted)
+	fmt.Printf("%-28s tput %8.1f tps, lat(avg) %6.2fms, committed %d, aborted %d\n",
+		"wire (loopback HTTP)", wire.Throughput, wire.AvgLatencyMs, wire.Committed, wire.Aborted)
+	if local.Throughput > 0 {
+		fmt.Printf("wire/local throughput ratio: %.2f\n", wire.Throughput/local.Throughput)
 	}
 }
 

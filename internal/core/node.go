@@ -712,6 +712,20 @@ func (n *Node) SubscribeAll() <-chan TxResult {
 	return ch
 }
 
+// UnsubscribeAll removes a SubscribeAll registration. Transport servers
+// subscribe one channel per connected commit-stream client; without this
+// a dropped subscriber would leave its channel registered forever.
+func (n *Node) UnsubscribeAll(ch <-chan TxResult) {
+	n.subMu.Lock()
+	for i, c := range n.allCh {
+		if (<-chan TxResult)(c) == ch {
+			n.allCh = append(n.allCh[:i], n.allCh[i+1:]...)
+			break
+		}
+	}
+	n.subMu.Unlock()
+}
+
 func (n *Node) notify(r TxResult, replay bool) {
 	if replay {
 		return

@@ -68,6 +68,22 @@ func NewSigner(name, org string, role Role, rand io.Reader) (*Signer, error) {
 	}, nil
 }
 
+// Deterministic derives a signer whose key is a pure function of
+// (secret, name, org, role). Every process of a multi-process cluster —
+// servers and remote clients alike — derives the same key material from
+// the shared cluster secret, so genesis certificates, block signatures
+// and client signatures verify across process boundaries without a key
+// distribution step. The secret is the trust root: anyone holding it can
+// impersonate any identity, exactly like a CA private key.
+func Deterministic(name, org string, role Role, secret string) (*Signer, error) {
+	seed := sha256.Sum256([]byte("bcrdb/identity/v1\x00" + secret + "\x00" + name + "\x00" + org + "\x00" + string(role)))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Signer{
+		Identity: Identity{Name: name, Org: org, Role: role, PubKey: priv.Public().(ed25519.PublicKey)},
+		priv:     priv,
+	}, nil
+}
+
 // Sign signs msg with the private key.
 func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
 

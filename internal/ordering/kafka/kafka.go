@@ -90,7 +90,7 @@ func (t *Topic) publish(r record) {
 type Orderer struct {
 	name   string
 	signer *identity.Signer
-	topic  *Topic
+	topic  TopicRef
 	cfg    ordering.Config
 	ep     *simnet.Endpoint
 	peers  []string
@@ -106,9 +106,11 @@ type Orderer struct {
 	delivered func(*ledger.Block) // test hook
 }
 
-// NewOrderer creates and starts an orderer node attached to the topic.
-// peers are the endpoint names this orderer delivers blocks to.
-func NewOrderer(name string, signer *identity.Signer, topic *Topic, net *simnet.Network, peers []string, cfg ordering.Config) (*Orderer, error) {
+// NewOrderer creates and starts an orderer node attached to the topic —
+// the in-process *Topic, or a *TopicClient reaching a topic hosted in
+// another process. peers are the endpoint names this orderer delivers
+// blocks to.
+func NewOrderer(name string, signer *identity.Signer, topic TopicRef, net *simnet.Network, peers []string, cfg ordering.Config) (*Orderer, error) {
 	o := &Orderer{
 		name:   name,
 		signer: signer,

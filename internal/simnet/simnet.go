@@ -70,6 +70,14 @@ func Loopback() Profile { return Profile{} }
 // different organizations different inter-DC links.
 type ProfileFn func(from, to string) Profile
 
+// Gateway forwards messages whose destination is not registered on this
+// network — the multi-process escape hatch: a cluster process installs a
+// gateway that relays such messages to the process owning the endpoint
+// (internal/transport's relay pool), where they re-enter that process's
+// simnet via Inject. A gateway must not block: relaying happens on the
+// sender's goroutine.
+type Gateway func(msg Message) error
+
 // Network is the bus.
 type Network struct {
 	mu        sync.RWMutex
@@ -90,6 +98,11 @@ type Network struct {
 	linkFaults map[[2]string]Faults
 	seed       int64
 	start      time.Time
+
+	// gateway, when set, receives messages addressed to endpoints this
+	// process does not host (cluster mode). Atomic so the hot send path
+	// never takes the network mutex twice.
+	gateway atomic.Value // Gateway
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -143,6 +156,20 @@ func (n *Network) SetProfileFn(fn ProfileFn) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.profileFn = fn
+}
+
+// SetGateway installs the forwarder for messages addressed to endpoints
+// not registered locally. nil restores the default (ErrUnknownPeer).
+func (n *Network) SetGateway(gw Gateway) { n.gateway.Store(gw) }
+
+// Inject delivers a message that arrived from another process (via a
+// relay) into this network as if the remote endpoint had sent it
+// locally: it flows through the normal per-link FIFO machinery, so link
+// profiles, partitions and fault injection still apply. Unknown
+// destinations are an error — an injected message is never re-gatewayed,
+// which would loop two relays against each other.
+func (n *Network) Inject(from, to, kind string, payload []byte) error {
+	return n.send(Message{From: from, To: to, Kind: kind, Payload: payload}, false)
 }
 
 // Endpoint is one addressable node.
@@ -233,7 +260,7 @@ func (ep *Endpoint) Send(to, kind string, payload []byte) error {
 		msg.notBefore = ep.nicFreeAt
 		ep.nicMu.Unlock()
 	}
-	return ep.net.send(msg)
+	return ep.net.send(msg, true)
 }
 
 // Broadcast sends to every named destination (skipping self).
@@ -245,7 +272,7 @@ func (ep *Endpoint) Broadcast(tos []string, kind string, payload []byte) {
 	}
 }
 
-func (n *Network) send(msg Message) error {
+func (n *Network) send(msg Message, mayGateway bool) error {
 	msg.sentAt = time.Now()
 	n.mu.RLock()
 	if n.closed {
@@ -259,6 +286,11 @@ func (n *Network) send(msg Message) error {
 	dst, ok := n.endpoints[msg.To]
 	if !ok {
 		n.mu.RUnlock()
+		if mayGateway {
+			if gw, _ := n.gateway.Load().(Gateway); gw != nil {
+				return gw(msg)
+			}
+		}
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
 	}
 	if dst.stopped.Load() {

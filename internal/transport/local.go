@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"bcrdb/internal/core"
+	"bcrdb/internal/engine"
+	"bcrdb/internal/ledger"
+	"bcrdb/internal/ordering"
+	"bcrdb/internal/simnet"
+	"bcrdb/internal/types"
+)
+
+// submitDest picks the wire destination for a signed transaction: in
+// execute-order flow the local node validates and forwards (§3.2); in
+// order-execute flow clients talk straight to the ordering service, so
+// the submission goes to the orderer owning the transaction's id hash —
+// the same routing rule the in-process client uses, keeping resubmission
+// idempotent across transports.
+func submitDest(flow core.Flow, nodeName string, orderers []string, txID string) (to, kind string, err error) {
+	if flow == core.ExecuteOrder || len(orderers) == 0 {
+		return nodeName, core.KindSubmit, nil
+	}
+	h := fnv.New32a()
+	h.Write([]byte(txID))
+	return orderers[int(h.Sum32())%len(orderers)], ordering.KindSubmit, nil
+}
+
+// Direct is the in-process transport: it registers one simnet endpoint
+// and delivers submissions over the same message fabric node peers use.
+// It exists so local and remote clients share one code path — the only
+// difference between them is which Transport they hold.
+type Direct struct {
+	node     NodeBackend
+	ep       *simnet.Endpoint
+	flow     core.Flow
+	orderers []string
+
+	mu      sync.Mutex
+	streams map[<-chan core.TxResult]struct{}
+	closed  bool
+}
+
+// NewDirect registers endpoint epName on the network and connects it to
+// the given node. orderers are the ordering-service endpoint names used
+// for order-execute submissions.
+func NewDirect(net *simnet.Network, epName string, node NodeBackend, flow core.Flow, orderers []string) (*Direct, error) {
+	d := &Direct{
+		node:     node,
+		flow:     flow,
+		orderers: append([]string(nil), orderers...),
+		streams:  make(map[<-chan core.TxResult]struct{}),
+	}
+	ep, err := net.Register(epName, func(simnet.Message) {})
+	if err != nil {
+		return nil, err
+	}
+	d.ep = ep
+	return d, nil
+}
+
+// Info implements Transport.
+func (d *Direct) Info(context.Context) (Info, error) {
+	return Info{
+		Node:         d.node.Name(),
+		Org:          d.node.Org(),
+		Flow:         flowName(d.flow),
+		Height:       d.node.Height(),
+		SealedHeight: d.node.SealedHeight(),
+		Orderers:     len(d.orderers),
+	}, nil
+}
+
+// Submit implements Transport.
+func (d *Direct) Submit(_ context.Context, txBytes []byte) error {
+	tx, err := ledger.UnmarshalTransaction(txBytes)
+	if err != nil {
+		return fmt.Errorf("transport: bad transaction: %w", err)
+	}
+	to, kind, err := submitDest(d.flow, d.node.Name(), d.orderers, tx.ID)
+	if err != nil {
+		return err
+	}
+	return d.ep.Send(to, kind, txBytes)
+}
+
+// Query implements Transport.
+func (d *Direct) Query(_ context.Context, height int64, sql string, params []types.Value) (*engine.Result, error) {
+	if height < 0 {
+		return d.node.Query(sql, params...)
+	}
+	return d.node.QueryAt(height, sql, params...)
+}
+
+// CommitStream implements Transport.
+func (d *Direct) CommitStream(ctx context.Context) (<-chan core.TxResult, func(), error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, nil, fmt.Errorf("transport: direct transport closed")
+	}
+	src := d.node.SubscribeAll()
+	d.streams[src] = struct{}{}
+	d.mu.Unlock()
+
+	out := make(chan core.TxResult, 256)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(done)
+			d.mu.Lock()
+			delete(d.streams, src)
+			d.mu.Unlock()
+			d.node.UnsubscribeAll(src)
+		})
+	}
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				stop()
+				return
+			case r := <-src:
+				select {
+				case out <- r:
+				default: // slow consumer: drop, the client's ledger lookup recovers
+				}
+			}
+		}
+	}()
+	return out, stop, nil
+}
+
+// Close implements Transport.
+func (d *Direct) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	streams := make([]<-chan core.TxResult, 0, len(d.streams))
+	for ch := range d.streams {
+		streams = append(streams, ch)
+	}
+	d.streams = make(map[<-chan core.TxResult]struct{})
+	d.mu.Unlock()
+	for _, ch := range streams {
+		d.node.UnsubscribeAll(ch)
+	}
+	d.ep.Unregister()
+	return nil
+}
+
+func flowName(f core.Flow) string {
+	if f == core.OrderThenExecute {
+		return "order-execute"
+	}
+	return "execute-order"
+}

@@ -86,6 +86,12 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Retry.Attempts == 0 {
 		c.Retry = bcrdb.RetryPolicy{Attempts: 6, Timeout: 2 * time.Second, Backoff: 100 * time.Millisecond}
 	}
+	if c.Retry.Seed == 0 {
+		// One seed drives everything: link faults, the chaos schedule
+		// and now client retry jitter, which used the process-global
+		// math/rand source and made soak runs unrepeatable.
+		c.Retry.Seed = c.Seed
+	}
 	if c.DropProb == 0 {
 		c.DropProb = 0.05
 	}

@@ -3,6 +3,8 @@ package workload
 import (
 	"testing"
 	"time"
+
+	"bcrdb"
 )
 
 // The seeded soak is the tentpole's capstone: under link drops, latency
@@ -34,5 +36,22 @@ func TestChaosSoakDisk(t *testing.T) {
 	}
 	if res.FaultsInjected == 0 {
 		t.Fatal("soak injected no link faults — the run proved nothing")
+	}
+}
+
+// TestChaosSeedThreadsIntoRetryJitter pins the ADR-0005 promise that a
+// soak's timeline is a pure function of its printed seed: the chaos
+// seed must propagate into RetryPolicy.Seed (the client-side jitter
+// source — see bcrdb's TestRetryJitterDeterministic for the proof that
+// an equal seed yields an identical backoff schedule), and an explicit
+// Retry.Seed must survive defaulting untouched.
+func TestChaosSeedThreadsIntoRetryJitter(t *testing.T) {
+	cfg := ChaosConfig{Seed: 1234}.withDefaults()
+	if cfg.Retry.Seed != 1234 {
+		t.Fatalf("Retry.Seed = %d, want the chaos seed 1234", cfg.Retry.Seed)
+	}
+	cfg = ChaosConfig{Seed: 1234, Retry: bcrdb.RetryPolicy{Attempts: 2, Seed: 99}}.withDefaults()
+	if cfg.Retry.Seed != 99 {
+		t.Fatalf("explicit Retry.Seed overridden: got %d, want 99", cfg.Retry.Seed)
 	}
 }

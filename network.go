@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bcrdb/internal/core"
@@ -14,7 +15,12 @@ import (
 	"bcrdb/internal/ordering/kafka"
 	"bcrdb/internal/simnet"
 	"bcrdb/internal/storage"
+	"bcrdb/internal/transport"
 )
+
+// ErrClosed is returned by operations attempted after Network.Close.
+// Client.Invoke wraps it in an UnresolvedError; errors.Is unwraps.
+var ErrClosed = errors.New("bcrdb: network closed")
 
 // OrderingKind selects the consensus implementation (§4.4).
 type OrderingKind uint8
@@ -122,10 +128,38 @@ type Options struct {
 	// catch-up with backoff, orderer liveness (default 250ms).
 	AntiEntropyEvery time.Duration
 
+	// IdentitySecret, when non-empty, derives every identity (admins,
+	// users, peers, orderers) deterministically from this shared secret
+	// instead of generating random keys. All processes of a
+	// multi-process cluster — and any RemoteClient — must agree on it,
+	// so genesis certificates and signatures verify across process
+	// boundaries. Required when Cluster is set.
+	IdentitySecret string
+
+	// Cluster, when non-nil, makes this process run only one org's
+	// slice of the network (its database node and orderers) and reach
+	// the rest over the wire. All processes must be started with
+	// identical Options apart from Cluster.LocalOrg/Listen.
+	Cluster *ClusterConfig
+
 	Genesis Genesis
 }
 
-// Network is a running blockchain database network.
+// ClusterConfig describes one process of a multi-process deployment.
+type ClusterConfig struct {
+	// LocalOrg names the organization (from Options.Orgs) whose
+	// components this process hosts.
+	LocalOrg string
+	// Listen is the wire-protocol address this process serves
+	// ("127.0.0.1:7061"). Other processes relay fabric messages here.
+	Listen string
+	// Peers maps every other org name to the base URL of the process
+	// serving it ("http://host:port").
+	Peers map[string]string
+}
+
+// Network is a running blockchain database network — the whole fabric
+// in-process, or (cluster mode) one org's slice of it.
 type Network struct {
 	opts  Options
 	net   *simnet.Network
@@ -138,8 +172,20 @@ type Network struct {
 	signers  map[string]*identity.Signer // clients and admins
 	orderers []string                    // orderer endpoint names
 
+	// Cluster-mode wiring (nil otherwise).
+	topicHost    *kafka.TopicHost
+	topicClients []*kafka.TopicClient
+	relay        *transport.RelayPool
+	server       *transport.Server
+
 	clientMu sync.Mutex
 	clients  map[string]*Client
+
+	// closed fences use-after-Close: every submission path checks it,
+	// and closedCh wakes blocked waits (retry backoff, Await).
+	closed    atomic.Bool
+	closedCh  chan struct{}
+	closeOnce sync.Once
 }
 
 // NewNetwork bootstraps and starts a network.
@@ -162,10 +208,39 @@ func NewNetwork(opts Options) (*Network, error) {
 		nOrderers = 4
 	}
 
+	// Cluster mode: this process hosts org localOrgIdx's node and the
+	// orderers assigned to it; everything else is reached via the relay
+	// gateway. The topology (names, orderer count, genesis) is computed
+	// identically in every process from the same Options.
+	cluster := opts.Cluster
+	localOrgIdx := -1
+	if cluster != nil {
+		if opts.IdentitySecret == "" {
+			return nil, errors.New("bcrdb: cluster mode requires Options.IdentitySecret")
+		}
+		for i, org := range opts.Orgs {
+			if org.Name == cluster.LocalOrg {
+				localOrgIdx = i
+			}
+		}
+		if localOrgIdx < 0 {
+			return nil, fmt.Errorf("bcrdb: Cluster.LocalOrg %q is not in Options.Orgs", cluster.LocalOrg)
+		}
+	}
+	localNode := func(i int) bool { return cluster == nil || i == localOrgIdx }
+	localOrderer := func(i int) bool { return cluster == nil || i%len(opts.Orgs) == localOrgIdx }
+
 	nw := &Network{
-		opts:    opts,
-		signers: make(map[string]*identity.Signer),
-		clients: make(map[string]*Client),
+		opts:     opts,
+		signers:  make(map[string]*identity.Signer),
+		clients:  make(map[string]*Client),
+		closedCh: make(chan struct{}),
+	}
+	newSigner := func(name, org string, role identity.Role) (*identity.Signer, error) {
+		if opts.IdentitySecret != "" {
+			return identity.Deterministic(name, org, role, opts.IdentitySecret)
+		}
+		return identity.NewSigner(name, org, role, nil)
 	}
 
 	// Simulated fabric: LAN, or WAN between different orgs' nodes.
@@ -191,19 +266,55 @@ func NewNetwork(opts Options) (*Network, error) {
 		})
 	}
 
-	// Identities.
+	// Cross-process relay: fabric messages for endpoints hosted by
+	// another process leave through the gateway and re-enter the remote
+	// fabric via its /v1/relay. Installed before any component starts
+	// so no early message can hit an unroutable destination.
+	if cluster != nil {
+		pool := transport.NewRelayPool()
+		for orgName, url := range cluster.Peers {
+			if orgName == cluster.LocalOrg || url == "" {
+				continue
+			}
+			j := -1
+			for k, org := range opts.Orgs {
+				if org.Name == orgName {
+					j = k
+				}
+			}
+			if j < 0 {
+				return nil, fmt.Errorf("bcrdb: Cluster.Peers org %q is not in Options.Orgs", orgName)
+			}
+			owns := []string{"db." + orgName}
+			for i := 0; i < nOrderers; i++ {
+				if i%len(opts.Orgs) == j {
+					owns = append(owns, ordererName(i))
+				}
+			}
+			if j == 0 {
+				owns = append(owns, kafka.TopicEndpoint)
+			}
+			pool.AddRoute(url, owns...)
+		}
+		nw.relay = pool
+		nw.net.SetGateway(pool.Gateway())
+	}
+
+	// Identities. With IdentitySecret set these are pure functions of
+	// the secret, so every process derives byte-identical certificates
+	// and the genesis blocks (which embed them) match.
 	netReg := identity.NewRegistry()
 	var certs []core.CertEntry
 	for _, org := range opts.Orgs {
 		admin := "admin@" + org.Name
-		s, err := identity.NewSigner(admin, org.Name, identity.RoleAdmin, nil)
+		s, err := newSigner(admin, org.Name, identity.RoleAdmin)
 		if err != nil {
 			return nil, err
 		}
 		nw.signers[admin] = s
 		certs = append(certs, core.CertEntry{Name: admin, Org: org.Name, Role: "admin", PubKey: s.PubKey})
 		for _, u := range org.Users {
-			us, err := identity.NewSigner(u, org.Name, identity.RoleClient, nil)
+			us, err := newSigner(u, org.Name, identity.RoleClient)
 			if err != nil {
 				return nil, err
 			}
@@ -216,7 +327,7 @@ func NewNetwork(opts Options) (*Network, error) {
 	var peerSigners []*identity.Signer
 	for _, org := range opts.Orgs {
 		name := "db." + org.Name
-		s, err := identity.NewSigner(name, org.Name, identity.RolePeer, nil)
+		s, err := newSigner(name, org.Name, identity.RolePeer)
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +340,7 @@ func NewNetwork(opts Options) (*Network, error) {
 	var ordSigners []*identity.Signer
 	for i := 0; i < nOrderers; i++ {
 		org := opts.Orgs[i%len(opts.Orgs)].Name
-		s, err := identity.NewSigner(ordererName(i), org, identity.RoleOrderer, nil)
+		s, err := newSigner(ordererName(i), org, identity.RoleOrderer)
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +365,9 @@ func NewNetwork(opts Options) (*Network, error) {
 
 	// Database nodes.
 	for i, org := range opts.Orgs {
+		if !localNode(i) {
+			continue
+		}
 		cfg := core.Config{
 			Name:               peerNames[i],
 			Org:                org.Name,
@@ -300,10 +414,36 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg := ordering.Config{BlockSize: opts.BlockSize, BlockTimeout: opts.BlockTimeout}
 	switch opts.Ordering {
 	case OrderingKafka:
-		nw.topic = kafka.NewTopic(nil)
+		// One trusted sequencer for the whole deployment: in cluster
+		// mode org 0's process hosts it and everyone else attaches a
+		// topic client, mirroring the paper's external Kafka cluster.
+		if cluster == nil || localOrgIdx == 0 {
+			nw.topic = kafka.NewTopic(nil)
+			if cluster != nil {
+				h, err := kafka.ServeTopic(nw.topic, nw.net)
+				if err != nil {
+					nw.Close()
+					return nil, err
+				}
+				nw.topicHost = h
+			}
+		}
 		for i := 0; i < nOrderers; i++ {
+			if !localOrderer(i) {
+				continue
+			}
+			var topicRef kafka.TopicRef = nw.topic
+			if nw.topic == nil {
+				tc, err := kafka.DialTopic(nw.net, nw.orderers[i])
+				if err != nil {
+					nw.Close()
+					return nil, err
+				}
+				nw.topicClients = append(nw.topicClients, tc)
+				topicRef = tc
+			}
 			peers := deliveryPeers(peerNames, i, nOrderers)
-			o, err := kafka.NewOrderer(nw.orderers[i], ordSigners[i], nw.topic, nw.net, peers, cfg)
+			o, err := kafka.NewOrderer(nw.orderers[i], ordSigners[i], topicRef, nw.net, peers, cfg)
 			if err != nil {
 				nw.Close()
 				return nil, err
@@ -312,6 +452,9 @@ func NewNetwork(opts Options) (*Network, error) {
 		}
 	case OrderingBFT:
 		for i := 0; i < nOrderers; i++ {
+			if !localOrderer(i) {
+				continue
+			}
 			peers := deliveryPeers(peerNames, i, nOrderers)
 			o, err := bft.New(i, nw.orderers, ordSigners[i], netReg, nw.net, peers, cfg)
 			if err != nil {
@@ -323,6 +466,22 @@ func NewNetwork(opts Options) (*Network, error) {
 	default:
 		nw.Close()
 		return nil, fmt.Errorf("bcrdb: unknown ordering kind %d", opts.Ordering)
+	}
+
+	// Cluster mode serves the wire protocol for the local node.
+	if cluster != nil {
+		srv, err := transport.NewServer(transport.ServerConfig{
+			Node:     nw.nodes[0],
+			Flow:     opts.Flow,
+			Orderers: nw.orderers,
+			Net:      nw.net,
+			Listen:   cluster.Listen,
+		})
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		nw.server = srv
 	}
 	return nw, nil
 }
@@ -341,23 +500,71 @@ func deliveryPeers(peerNames []string, i, nOrderers int) []string {
 	return out
 }
 
-// Close stops every component.
+// Close stops every component. It is idempotent and fences concurrent
+// use: the closed flag flips and closedCh closes before any component
+// stops, so an Invoke racing with Close observes ErrClosed instead of
+// hanging on a dead fabric or panicking into stopped components.
 func (nw *Network) Close() {
-	for _, c := range nw.clients {
-		c.close()
+	nw.closeOnce.Do(func() {
+		nw.closed.Store(true)
+		close(nw.closedCh)
+		if nw.server != nil {
+			_ = nw.server.Close()
+		}
+		nw.clientMu.Lock()
+		clients := make([]*Client, 0, len(nw.clients))
+		for _, c := range nw.clients {
+			clients = append(clients, c)
+		}
+		nw.clientMu.Unlock()
+		for _, c := range clients {
+			c.close()
+		}
+		for _, o := range nw.kafkaOrds {
+			o.Stop()
+		}
+		for _, o := range nw.bftOrds {
+			o.Stop()
+		}
+		for _, tc := range nw.topicClients {
+			tc.Close()
+		}
+		if nw.topicHost != nil {
+			nw.topicHost.Stop()
+		}
+		for _, n := range nw.nodes {
+			n.Stop()
+		}
+		if nw.relay != nil {
+			nw.relay.Close()
+		}
+		if nw.net != nil {
+			nw.net.Close()
+		}
+	})
+}
+
+// Closed reports whether Close has been called.
+func (nw *Network) Closed() bool { return nw.closed.Load() }
+
+// Server returns the cluster-mode wire server (nil outside cluster
+// mode or before it is started).
+func (nw *Network) Server() *transport.Server { return nw.server }
+
+// Serve starts a wire-protocol server for node i on the given listen
+// address ("127.0.0.1:0" for an ephemeral port). The caller owns the
+// returned server; closing the network does not close it.
+func (nw *Network) Serve(i int, listen string) (*transport.Server, error) {
+	if nw.closed.Load() {
+		return nil, ErrClosed
 	}
-	for _, o := range nw.kafkaOrds {
-		o.Stop()
-	}
-	for _, o := range nw.bftOrds {
-		o.Stop()
-	}
-	for _, n := range nw.nodes {
-		n.Stop()
-	}
-	if nw.net != nil {
-		nw.net.Close()
-	}
+	return transport.NewServer(transport.ServerConfig{
+		Node:     nw.nodes[i],
+		Flow:     nw.opts.Flow,
+		Orderers: nw.orderers,
+		Net:      nw.net,
+		Listen:   listen,
+	})
 }
 
 // Nodes returns the database nodes (one per org, in Options order).

@@ -1,0 +1,230 @@
+package bcrdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// remoteOptions is demoOptions plus the deterministic identities remote
+// clients need to sign verifiably.
+func remoteOptions(flow Flow, secret string) Options {
+	opts := demoOptions(flow)
+	opts.IdentitySecret = secret
+	opts.Retry = RetryPolicy{Attempts: 4, Timeout: 5 * time.Second, Backoff: 50 * time.Millisecond}
+	return opts
+}
+
+// TestRemoteClientOverWire is the acceptance path: a transaction
+// submitted by a RemoteClient over real HTTP commits and its
+// notification streams back over the wire.
+func TestRemoteClientOverWire(t *testing.T) {
+	for _, flow := range []Flow{OrderThenExecute, ExecuteOrder} {
+		name := map[Flow]string{OrderThenExecute: "OrderThenExecute", ExecuteOrder: "ExecuteOrder"}[flow]
+		t.Run(name, func(t *testing.T) {
+			nw, err := NewNetwork(remoteOptions(flow, "wire-secret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+			srv, err := nw.Serve(0, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			rc, err := DialRemote(RemoteConfig{
+				URL:            srv.URL(),
+				Username:       "alice",
+				IdentitySecret: "wire-secret",
+				Retry:          RetryPolicy{Attempts: 4, Timeout: 5 * time.Second, Backoff: 50 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+
+			res, err := rc.Invoke("transfer", Int(1), Int(2), Float(30))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Committed {
+				t.Fatalf("remote transfer aborted: %s", res.Reason)
+			}
+			rows, err := rc.Query(`SELECT balance FROM accounts ORDER BY id`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows.Rows[0][0].Float() != 70 || rows.Rows[1][0].Float() != 80 {
+				t.Fatalf("balances over the wire = %v", rows.Rows)
+			}
+			info, err := rc.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Node != "db.org1" || info.Org != "org1" {
+				t.Fatalf("info = %+v", info)
+			}
+		})
+	}
+}
+
+// TestWireDifferential runs the identical transaction sequence through
+// the in-process client and through a RemoteClient over HTTP and
+// demands bit-identical outcomes: same state digests, same sys_ledger
+// rows. ExecuteOrder flow with awaited serial invokes makes both runs
+// fully deterministic (deterministic tx ids, one tx per block), and the
+// shared IdentitySecret makes the genesis certificates — which are part
+// of the hashed state — identical too.
+func TestWireDifferential(t *testing.T) {
+	const secret = "differential-secret"
+	type op struct {
+		contract string
+		args     []Value
+	}
+	ops := []op{
+		{"transfer", []Value{Int(1), Int(2), Float(10)}},
+		{"open_account", []Value{Int(3), Text("carol"), Float(500)}},
+		{"transfer", []Value{Int(3), Int(1), Float(250)}},
+		{"transfer", []Value{Int(2), Int(3), Float(5)}},
+	}
+
+	run := func(remote bool) (*Network, func(string, []Value) (TxResult, error), func()) {
+		nw, err := NewNetwork(remoteOptions(ExecuteOrder, secret))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !remote {
+			alice := nw.Client("alice")
+			return nw, func(c string, a []Value) (TxResult, error) { return alice.Invoke(c, a...) }, nw.Close
+		}
+		srv, err := nw.Serve(0, "127.0.0.1:0")
+		if err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
+		rc, err := DialRemote(RemoteConfig{
+			URL: srv.URL(), Username: "alice", IdentitySecret: secret,
+			Retry: RetryPolicy{Attempts: 4, Timeout: 5 * time.Second, Backoff: 50 * time.Millisecond},
+		})
+		if err != nil {
+			srv.Close()
+			nw.Close()
+			t.Fatal(err)
+		}
+		cleanup := func() { rc.Close(); srv.Close(); nw.Close() }
+		return nw, func(c string, a []Value) (TxResult, error) { return rc.Invoke(c, a...) }, cleanup
+	}
+
+	type outcome struct {
+		height int64
+		digest [32]byte
+		ledger string
+	}
+	execute := func(remote bool) outcome {
+		nw, invoke, cleanup := run(remote)
+		defer cleanup()
+		for i, o := range ops {
+			res, err := invoke(o.contract, o.args)
+			if err != nil {
+				t.Fatalf("op %d (remote=%v): %v", i, remote, err)
+			}
+			if !res.Committed {
+				t.Fatalf("op %d (remote=%v) aborted: %s", i, remote, res.Reason)
+			}
+			// Settle every replica before the next snapshot is taken so
+			// both runs observe the same heights at the same steps.
+			if err := nw.WaitHeight(int64(res.Block), 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := nw.Node(0).Height()
+		rows, err := nw.Client("alice").Query(`SELECT txid, block, status FROM sys_ledger ORDER BY block, txid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ledger string
+		for _, r := range rows.Rows {
+			ledger += fmt.Sprintf("%s|%d|%s\n", r[0].Str(), r[1].Int(), r[2].Str())
+		}
+		return outcome{height: h, digest: nw.Node(0).StateHash(h), ledger: ledger}
+	}
+
+	local := execute(false)
+	wire := execute(true)
+	if local.height != wire.height {
+		t.Fatalf("heights diverge: local %d, wire %d", local.height, wire.height)
+	}
+	if local.digest != wire.digest {
+		t.Fatalf("state digests diverge at height %d", local.height)
+	}
+	if local.ledger != wire.ledger {
+		t.Fatalf("sys_ledger diverges:\nlocal:\n%s\nwire:\n%s", local.ledger, wire.ledger)
+	}
+}
+
+// TestCommitStreamReconnect drops the server mid-session and asserts
+// (1) the dropped subscriber's node-side registration is released and
+// (2) the client's stream follower redials a replacement server on the
+// same address and resumes receiving commit notifications.
+func TestCommitStreamReconnect(t *testing.T) {
+	nw, err := NewNetwork(remoteOptions(ExecuteOrder, "reconnect-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	srv, err := nw.Serve(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	rc, err := DialRemote(RemoteConfig{
+		URL: srv.URL(), Username: "alice", IdentitySecret: "reconnect-secret",
+		Retry: RetryPolicy{Attempts: 6, Timeout: 2 * time.Second, Backoff: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if res, err := rc.Invoke("transfer", Int(1), Int(2), Float(5)); err != nil || !res.Committed {
+		t.Fatalf("pre-drop invoke: %v / %+v", err, res)
+	}
+	waitFor(t, "stream connected", func() bool { return srv.ActiveStreams() == 1 })
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	// The dropped subscriber's handler tears down as its connection
+	// dies; the node-side registration must go with it.
+	waitFor(t, "dropped stream released", func() bool { return srv.ActiveStreams() == 0 })
+
+	// Same address, fresh server: the follower must find it on its own.
+	srv2, err := nw.Serve(0, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, "stream reconnected", func() bool { return srv2.ActiveStreams() == 1 })
+
+	res, err := rc.Invoke("transfer", Int(2), Int(1), Float(3))
+	if err != nil {
+		t.Fatalf("post-reconnect invoke: %v", err)
+	}
+	if !res.Committed {
+		t.Fatalf("post-reconnect transfer aborted: %s", res.Reason)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
